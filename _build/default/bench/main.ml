@@ -1,0 +1,130 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (S5) plus the extension experiments, and runs Bechamel
+   micro-benchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- fig3 fig5    # selected experiments
+     CANON_SCALE=quick dune exec bench/main.exe   # reduced sizes
+
+   Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 theorems variants
+   lookahead balance maintenance caching isolation hybrid prefixcan
+   skipnet micro. *)
+
+open Canon_experiments
+module Table = Canon_stats.Table
+
+let seed = 42
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s finished in %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0);
+  result
+
+let run_table name build =
+  ( name,
+    fun scale ->
+      let table = timed name (fun () -> build ~scale ~seed) in
+      Table.print table;
+      print_newline () )
+
+(* --- Bechamel micro-benchmarks ------------------------------------ *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  let open Canon_overlay in
+  let open Canon_core in
+  let module Rng = Canon_rng.Rng in
+  let n = 4096 in
+  let pop = Common.hierarchy_population ~seed ~levels:3 ~n in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  let flat_pop = Common.hierarchy_population ~seed:(seed + 1) ~levels:1 ~n in
+  let flat_ring =
+    Ring.of_members ~ids:flat_pop.Population.ids ~members:(Array.init n Fun.id)
+  in
+  let rng = Rng.create 7 in
+  let random_node () = Rng.int_below rng n in
+  let tests =
+    [
+      Test.make ~name:"ring.successor_of_id"
+        (Staged.stage (fun () ->
+             ignore (Ring.successor_of_id flat_ring (Canon_idspace.Id.random rng))));
+      Test.make ~name:"chord.links_of_one_node (n=4096)"
+        (Staged.stage (fun () ->
+             let node = random_node () in
+             ignore (Chord.links_of_id flat_ring flat_pop.Population.ids.(node) ~self:node)));
+      Test.make ~name:"crescendo.links_of_one_node (3 levels)"
+        (Staged.stage (fun () -> ignore (Crescendo.links_of_node rings (random_node ()))));
+      Test.make ~name:"router.greedy_clockwise (n=4096)"
+        (Staged.stage (fun () ->
+             let src = random_node () and dst = random_node () in
+             ignore (Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst))));
+      Test.make ~name:"router.greedy_xor (kademlia n=4096)"
+        (let kademlia = Kademlia.build (Rng.create 9) flat_pop in
+         Staged.stage (fun () ->
+             let src = random_node () and dst = random_node () in
+             ignore (Router.greedy_xor kademlia ~src ~key:(Overlay.id kademlia dst))));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"canon" tests in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name res acc -> (name, res) :: acc) results [] in
+  let table =
+    Table.create ~title:"Micro-benchmarks (Bechamel, ns/op)" ~columns:[ "operation"; "ns/op" ]
+  in
+  List.iter
+    (fun (name, res) ->
+      match Analyze.OLS.estimates res with
+      | Some (est :: _) -> Table.add_row table [ name; Printf.sprintf "%.1f" est ]
+      | Some [] | None -> Table.add_row table [ name; "n/a" ])
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  Table.print table;
+  print_newline ()
+
+let experiments =
+  [
+    run_table "fig3" Fig3.run;
+    run_table "fig4" Fig4.run;
+    run_table "fig5" Fig5.run;
+    run_table "fig6" Fig6.run;
+    run_table "fig7" Fig7.run;
+    run_table "fig8" Fig8.run;
+    run_table "fig9" Fig9.run;
+    run_table "theorems" Theorems.run;
+    run_table "variants" Variants.run;
+    run_table "lookahead" Lookahead_bench.run;
+    run_table "balance" Balance_bench.run;
+    run_table "maintenance" Maintenance_bench.run;
+    run_table "caching" Caching_bench.run;
+    run_table "isolation" Isolation.run;
+    run_table "hybrid" Hybrid_bench.run;
+    run_table "prefixcan" Prefix_can_bench.run;
+    run_table "skipnet" Skipnet_bench.run;
+    ("micro", fun _scale -> timed "micro" micro_benchmarks);
+  ]
+
+let () =
+  let scale = Common.scale_of_env () in
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Printf.printf "Canon benchmark harness (scale: %s, seed: %d)\n\n%!"
+    (match scale with `Paper -> "paper" | `Quick -> "quick")
+    seed;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run scale
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

@@ -1,0 +1,77 @@
+(* canon — command-line front end for the Canon reproduction.
+
+   Each subcommand regenerates one of the paper's tables/figures (or an
+   extension experiment) and prints it as an aligned text table. *)
+
+open Cmdliner
+module Table = Canon_stats.Table
+open Canon_experiments
+
+let seed_arg =
+  let doc = "Random seed; identical seeds reproduce identical tables." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Run at reduced scale (fast; same qualitative shapes)." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let scale_of quick = if quick then `Quick else Common.scale_of_env ()
+
+let run_experiment build quick seed =
+  let table = build ~scale:(scale_of quick) ~seed in
+  Table.print table;
+  `Ok ()
+
+let experiment_cmd name ~doc build =
+  let term = Term.(ret (const (run_experiment build) $ quick_arg $ seed_arg)) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let commands =
+  [
+    experiment_cmd "fig3" ~doc:"Figure 3: average #links/node vs network size." Fig3.run;
+    experiment_cmd "fig4" ~doc:"Figure 4: PDF of #links/node at 32K nodes." Fig4.run;
+    experiment_cmd "fig5" ~doc:"Figure 5: average routing hops vs network size." Fig5.run;
+    experiment_cmd "fig6" ~doc:"Figure 6: latency and stretch on the transit-stub internet."
+      Fig6.run;
+    experiment_cmd "fig7" ~doc:"Figure 7: latency vs query locality." Fig7.run;
+    experiment_cmd "fig8" ~doc:"Figure 8: path overlap fraction vs domain level." Fig8.run;
+    experiment_cmd "fig9" ~doc:"Figure 9: inter-domain links in a 1000-source multicast tree."
+      Fig9.run;
+    experiment_cmd "theorems" ~doc:"Empirical check of Theorems 1/2/4/5." Theorems.run;
+    experiment_cmd "variants"
+      ~doc:"Degree/hops parity of all flat vs Canonical DHT pairs (Chord, Symphony, \
+            ND-Chord, Kademlia, CAN)."
+      Variants.run;
+    experiment_cmd "lookahead" ~doc:"Greedy vs 1-lookahead routing on Symphony/Cacophony."
+      Lookahead_bench.run;
+    experiment_cmd "balance" ~doc:"Partition balance: random vs bisection vs hierarchical."
+      Balance_bench.run;
+    experiment_cmd "maintenance" ~doc:"Join/leave message cost and probe success under churn."
+      Maintenance_bench.run;
+    experiment_cmd "caching" ~doc:"Hierarchical caching hit rate and latency." Caching_bench.run;
+    experiment_cmd "isolation"
+      ~doc:"Fault isolation: intra-domain delivery under outside failures." Isolation.run;
+    experiment_cmd "hybrid" ~doc:"LAN-clique + Crescendo hybrid structure ablation."
+      Hybrid_bench.run;
+    experiment_cmd "prefixcan" ~doc:"Prefix-tree CAN vs XOR-bucket CAN parity."
+      Prefix_can_bench.run;
+    experiment_cmd "skipnet" ~doc:"SkipNet vs Crescendo: locality and convergence (sec. 6)."
+      Skipnet_bench.run;
+  ]
+
+let default =
+  let doc = "reproduction of 'Canon in G Major: Designing DHTs with Hierarchical Structure'" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Regenerates the tables and figures of the ICDCS 2004 paper from a pure-OCaml \
+         implementation of Canon (Crescendo, Cacophony, ND-Crescendo, Kandy, Can-Can), its \
+         flat baselines, a transit-stub internet model, hierarchical storage and caching, \
+         partition balancing, and a churn simulator.";
+      `P "Use $(b,CANON_SCALE=quick) or $(b,--quick) for fast reduced-scale runs.";
+    ]
+  in
+  Cmd.group (Cmd.info "canon" ~version:"1.0.0" ~doc ~man) commands
+
+let () = exit (Cmd.eval default)

@@ -1,0 +1,1 @@
+examples/cdn_caching.mli:

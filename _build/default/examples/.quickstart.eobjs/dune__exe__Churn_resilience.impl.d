@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Array Canon_core Canon_hierarchy Canon_overlay Canon_rng Canon_sim Churn Domain_tree Fun List Maintenance Overlay Placement Population Printf Route Router

@@ -1,0 +1,88 @@
+(* Churn resilience and fault isolation.
+
+   Drives the §2.3 maintenance protocol: a 3-level organisation under a
+   Poisson stream of joins and leaves, with routing probes after every
+   event, then a fault-isolation drill — an entire sibling organisation
+   disappears and intra-domain service elsewhere is unaffected.
+
+   Run with:  dune exec examples/churn_resilience.exe *)
+
+open Canon_hierarchy
+open Canon_overlay
+open Canon_core
+open Canon_sim
+module Rng = Canon_rng.Rng
+
+let () =
+  let rng = Rng.create 1234 in
+  let tree = Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout:5 ~levels:3) in
+  let pop = Population.create (Rng.split rng) ~tree ~policy:(Placement.Zipfian 1.25) ~n:1000 in
+
+  (* Phase 1: churn with live probes. *)
+  let config =
+    {
+      Churn.initial_nodes = 400;
+      events = 250;
+      join_fraction = 0.55;
+      probes_per_event = 4;
+      mean_interarrival = 2.0;
+    }
+  in
+  let report = Churn.run (Rng.split rng) pop config in
+  Printf.printf "Churn phase: %d joins, %d leaves over %.0f sim-seconds\n" report.Churn.joins
+    report.Churn.leaves report.Churn.sim_time;
+  Printf.printf "  mean messages per join:  %.1f (log2 n ~ %.1f)\n"
+    report.Churn.join_message_mean
+    (log (float_of_int report.Churn.final_population) /. log 2.0);
+  Printf.printf "  mean messages per leave: %.1f\n" report.Churn.leave_message_mean;
+  Printf.printf "  routing probes: %d, failed: %d\n" report.Churn.probes report.Churn.failed_probes;
+
+  (* Phase 2: fault isolation. Rebuild a maintained overlay, then crash
+     every node of one depth-1 organisation at once. *)
+  let all = Array.init (Population.size pop) Fun.id in
+  let m = Maintenance.create pop ~present:all in
+  let orgs = Domain_tree.children tree (Domain_tree.root tree) in
+  let victim = orgs.(0) and survivor = orgs.(1) in
+  let members domain =
+    Array.to_list all
+    |> List.filter (fun node ->
+           Domain_tree.is_ancestor tree ~anc:domain ~desc:pop.Population.leaf_of_node.(node))
+  in
+  let victims = members victim in
+  Printf.printf "\nFault drill: organisation %d loses all %d nodes at once\n" victim
+    (List.length victims);
+  List.iter (fun node -> ignore (Maintenance.leave m node)) victims;
+
+  (* Intra-domain probes inside the surviving organisation. *)
+  let survivors = Array.of_list (members survivor) in
+  let overlay = Maintenance.overlay m in
+  let ok = ref 0 and local = ref 0 and probes = 300 in
+  let prng = Rng.split rng in
+  for _ = 1 to probes do
+    let src = Rng.pick prng survivors and dst = Rng.pick prng survivors in
+    let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
+    if Route.destination route = dst then begin
+      incr ok;
+      let stayed =
+        Array.for_all
+          (fun node ->
+            Domain_tree.is_ancestor tree ~anc:survivor
+              ~desc:pop.Population.leaf_of_node.(node))
+          route.Route.nodes
+      in
+      if stayed then incr local
+    end
+  done;
+  Printf.printf "  probes inside organisation %d: %d/%d delivered, %d/%d never left the org\n"
+    survivor !ok probes !local probes;
+
+  (* Global routing also still works among all survivors. *)
+  let live = Maintenance.present m in
+  let gok = ref 0 in
+  for _ = 1 to probes do
+    let src = Rng.pick prng live and dst = Rng.pick prng live in
+    let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
+    if Route.destination route = dst then incr gok
+  done;
+  Printf.printf "  global probes among survivors: %d/%d delivered\n" !gok probes;
+  print_endline "Done."

@@ -1,0 +1,80 @@
+(* Quickstart: build a Crescendo network over a DNS-style hierarchy,
+   route a few lookups, and store/retrieve a key-value pair.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Canon_hierarchy
+open Canon_overlay
+open Canon_core
+open Canon_storage
+module Rng = Canon_rng.Rng
+module Id = Canon_idspace.Id
+
+let () =
+  (* 1. Describe the organisation as DNS-style leaf domains. *)
+  let ns =
+    Hname.namespace_of_leaves
+      (List.map Hname.of_string
+         [
+           "db.cs.stanford"; "ai.cs.stanford"; "ds.cs.stanford"; "ee.stanford";
+           "cs.washington"; "ee.washington";
+         ])
+  in
+  let tree = Hname.tree ns in
+  Printf.printf "Hierarchy: %d domains, %d leaf domains, height %d\n"
+    (Domain_tree.num_domains tree) (Domain_tree.num_leaves tree) (Domain_tree.height tree);
+
+  (* 2. Place 600 nodes uniformly over the leaves and build Crescendo. *)
+  let rng = Rng.create 2024 in
+  let pop = Population.create rng ~tree ~policy:Placement.Uniform ~n:600 in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  Printf.printf "Crescendo overlay: %d nodes, mean out-degree %.2f (log2 n = %.2f)\n"
+    (Overlay.size overlay) (Overlay.mean_degree overlay)
+    (log (float_of_int 600) /. log 2.0);
+
+  (* 3. Route between two random nodes and inspect the path. *)
+  let src = 0 and dst = 599 in
+  let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
+  Printf.printf "Route %d -> %d took %d hops\n" src dst (Route.hops route);
+
+  (* 4. Intra-domain locality: two nodes of cs.stanford never route
+     outside cs.stanford. *)
+  let cs = Hname.domain_of_name ns (Hname.of_string "cs.stanford") in
+  let cs_ring = Rings.ring rings cs in
+  let a = Ring.node_at cs_ring 0 and b = Ring.node_at cs_ring (Ring.size cs_ring - 1) in
+  let local = Router.greedy_clockwise overlay ~src:a ~key:(Overlay.id overlay b) in
+  let stayed =
+    Array.for_all
+      (fun node ->
+        Domain_tree.is_ancestor tree ~anc:cs ~desc:pop.Population.leaf_of_node.(node))
+      local.Route.nodes
+  in
+  Printf.printf "cs.stanford-internal route: %d hops, stayed inside cs.stanford: %b\n"
+    (Route.hops local) stayed;
+
+  (* 5. Hierarchical storage: a DB-group node publishes a dataset
+     readable by all of Stanford but stored inside cs.stanford. *)
+  let store = Store.create rings in
+  let db = Hname.domain_of_name ns (Hname.of_string "db.cs.stanford") in
+  let stanford = Hname.domain_of_name ns (Hname.of_string "stanford") in
+  let publisher = Ring.node_at (Rings.ring rings db) 0 in
+  let key = Id.of_int 0xCAFE_F00D in
+  Store.insert store ~publisher ~key ~value:"vldb-2004-dataset" ~storage_domain:cs
+    ~access_domain:stanford;
+  let reader = Ring.node_at (Rings.ring rings (Hname.domain_of_name ns (Hname.of_string "ee.stanford"))) 0 in
+  (match Store.lookup store overlay ~querier:reader ~key with
+  | Some hit ->
+      Printf.printf "ee.stanford node read %S in %d hops%s\n" hit.Store.value
+        (Route.hops hit.Store.path)
+        (match hit.Store.via_pointer with
+        | Some holder -> Printf.sprintf " (via pointer to node %d)" holder
+        | None -> "")
+  | None -> print_endline "lookup failed (unexpected)");
+  let outsider =
+    Ring.node_at (Rings.ring rings (Hname.domain_of_name ns (Hname.of_string "cs.washington"))) 0
+  in
+  (match Store.lookup store overlay ~querier:outsider ~key with
+  | Some _ -> print_endline "BUG: washington read stanford-only content"
+  | None -> print_endline "cs.washington node was correctly denied access");
+  print_endline "Quickstart done."

@@ -1,0 +1,1 @@
+lib/balance/balance.ml: Array Canon_idspace Canon_rng Float Hashtbl Id Int Option Set

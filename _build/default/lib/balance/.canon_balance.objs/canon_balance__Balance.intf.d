@@ -1,0 +1,1 @@
+lib/balance/balance.mli: Canon_idspace Canon_rng Id

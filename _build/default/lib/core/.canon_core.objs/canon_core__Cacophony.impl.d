@@ -1,0 +1,1 @@
+lib/core/cacophony.ml: Array Canon_idspace Canon_overlay Id Link_set Overlay Population Ring Rings Symphony

@@ -1,0 +1,1 @@
+lib/core/can.ml: Xor_dht

@@ -1,0 +1,1 @@
+lib/core/can.mli: Canon_overlay Overlay Population

@@ -1,0 +1,1 @@
+lib/core/can_can.ml: Xor_dht

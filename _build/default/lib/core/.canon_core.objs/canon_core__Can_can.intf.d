@@ -1,0 +1,1 @@
+lib/core/can_can.mli: Canon_overlay Overlay Rings

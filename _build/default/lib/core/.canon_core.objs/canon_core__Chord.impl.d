@@ -1,0 +1,1 @@
+lib/core/chord.ml: Array Canon_idspace Canon_overlay Fun Id Link_set Overlay Population Ring

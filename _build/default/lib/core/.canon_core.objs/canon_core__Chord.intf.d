@@ -1,0 +1,1 @@
+lib/core/chord.mli: Canon_idspace Canon_overlay Overlay Population Ring

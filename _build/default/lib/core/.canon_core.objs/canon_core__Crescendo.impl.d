@@ -1,0 +1,1 @@
+lib/core/crescendo.ml: Array Canon_idspace Canon_overlay Chord Id Link_set Overlay Population Ring Rings

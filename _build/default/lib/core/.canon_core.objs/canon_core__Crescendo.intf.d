@@ -1,0 +1,1 @@
+lib/core/crescendo.mli: Canon_overlay Overlay Rings

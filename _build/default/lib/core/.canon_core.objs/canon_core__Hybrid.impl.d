@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Array Canon_idspace Canon_overlay Id Link_set Overlay Population Ring Rings

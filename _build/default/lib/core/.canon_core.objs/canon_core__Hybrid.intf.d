@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Canon_overlay Overlay Rings

@@ -1,0 +1,1 @@
+lib/core/kademlia.ml: Xor_dht

@@ -1,0 +1,1 @@
+lib/core/kademlia.mli: Canon_overlay Canon_rng Overlay Population

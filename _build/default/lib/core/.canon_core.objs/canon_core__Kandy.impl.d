@@ -1,0 +1,1 @@
+lib/core/kandy.ml: Xor_dht

@@ -1,0 +1,1 @@
+lib/core/kandy.mli: Canon_overlay Canon_rng Overlay Rings

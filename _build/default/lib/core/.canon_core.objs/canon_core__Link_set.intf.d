@@ -1,0 +1,1 @@
+lib/core/link_set.mli:

@@ -1,0 +1,1 @@
+lib/core/nd_chord.mli: Canon_idspace Canon_overlay Canon_rng Link_set Overlay Population Ring

@@ -1,0 +1,1 @@
+lib/core/nd_crescendo.ml: Array Canon_idspace Canon_overlay Id Link_set Nd_chord Overlay Population Ring Rings

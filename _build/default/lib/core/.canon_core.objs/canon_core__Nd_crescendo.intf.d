@@ -1,0 +1,1 @@
+lib/core/nd_crescendo.mli: Canon_overlay Canon_rng Overlay Rings

@@ -1,0 +1,1 @@
+lib/core/pastry.mli: Canon_overlay Canon_rng Overlay Population Rings

@@ -1,0 +1,1 @@
+lib/core/prefix_can.ml: Array Canon_rng Float Hashtbl List

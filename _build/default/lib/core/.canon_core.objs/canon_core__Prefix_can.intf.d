@@ -1,0 +1,1 @@
+lib/core/prefix_can.mli: Canon_rng

@@ -1,0 +1,1 @@
+lib/core/proximity.ml: Array Canon_hierarchy Canon_idspace Canon_overlay Chord Fun Id Link_set List Overlay Population Ring Rings Route Router

@@ -1,0 +1,1 @@
+lib/core/proximity.mli: Canon_overlay Overlay Population Rings Route

@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Canon_idspace Canon_overlay Id List Overlay Route

@@ -1,0 +1,1 @@
+lib/core/router.mli: Canon_idspace Canon_overlay Id Overlay Route

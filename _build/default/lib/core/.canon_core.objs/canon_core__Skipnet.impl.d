@@ -1,0 +1,1 @@
+lib/core/skipnet.ml: Array Canon_idspace Canon_overlay Float Fun Hashtbl Id Int List Population Route Router

@@ -1,0 +1,1 @@
+lib/core/skipnet.mli: Canon_idspace Canon_overlay Population Route

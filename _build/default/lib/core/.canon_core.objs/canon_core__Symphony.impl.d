@@ -1,0 +1,1 @@
+lib/core/symphony.ml: Array Canon_idspace Canon_overlay Canon_rng Float Fun Id Link_set Overlay Population Ring

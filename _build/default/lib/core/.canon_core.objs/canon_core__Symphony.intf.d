@@ -1,0 +1,1 @@
+lib/core/symphony.mli: Canon_idspace Canon_overlay Canon_rng Link_set Overlay Population Ring

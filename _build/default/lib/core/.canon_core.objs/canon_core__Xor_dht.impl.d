@@ -1,0 +1,1 @@
+lib/core/xor_dht.ml: Array Canon_idspace Canon_overlay Canon_rng Fun Id Link_set Overlay Population Ring Rings

@@ -1,0 +1,1 @@
+lib/core/xor_dht.mli: Canon_idspace Canon_overlay Canon_rng Overlay Population Ring Rings

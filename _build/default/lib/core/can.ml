@@ -1,0 +1,1 @@
+let build pop = Xor_dht.build_flat Xor_dht.Closest pop

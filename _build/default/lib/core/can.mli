@@ -1,0 +1,16 @@
+(** Logarithmic-degree CAN (paper §3.4).
+
+    The paper generalizes CAN to a logarithmic-degree network whose node
+    identifiers form a binary prefix tree and whose edges are hypercube
+    edges, routed "by simple left-to-right bit fixing, or equivalently,
+    by greedy routing using the XOR metric". We realise that network
+    over the common 32-bit identifier space: each node links, per XOR
+    bucket, to the bucket member XOR-closest to itself — exactly the
+    bit-fixing hypercube edge the virtual-node padding would produce
+    (the padding makes a shorter-prefix node present at every extension
+    of its prefix; the closest-member rule selects the same target). *)
+
+open Canon_overlay
+
+val build : Population.t -> Overlay.t
+(** Deterministic. *)

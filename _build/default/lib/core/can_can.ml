@@ -1,0 +1,1 @@
+let build rings = Xor_dht.build_hierarchical Xor_dht.Closest rings

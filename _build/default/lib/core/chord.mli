@@ -1,0 +1,21 @@
+(** Flat Chord (Stoica et al., SIGCOMM 2001) — the paper's primary
+    baseline.
+
+    Each node with identifier [m] links, for every [0 <= k < N], to the
+    closest node at least clockwise distance [2{^k}] away. The [k = 0]
+    link is the node's successor, so greedy clockwise routing is always
+    live. Expected out-degree is at most [log2(n-1) + 1] (paper
+    Theorem 1) and expected route length at most [log2(n-1)/2 + 1/2]
+    (Theorem 4). *)
+
+open Canon_overlay
+
+val build : Population.t -> Overlay.t
+(** Deterministic given the population: the hierarchy, if any, is
+    ignored — Chord is flat. *)
+
+val links_of_id :
+  Ring.t -> Canon_idspace.Id.t -> self:int -> int array
+(** The Chord link rule applied from one identifier against an
+    arbitrary ring (also used by the maintenance protocol when a node
+    recomputes its fingers). [self] is excluded from the result. *)

@@ -1,0 +1,31 @@
+(** Crescendo — the Canonical version of Chord (paper §2), the paper's
+    primary contribution.
+
+    Every node first builds ordinary Chord links inside its lowest-level
+    (leaf) domain ring. Sibling rings are then merged bottom-up: during
+    the merge producing the ring of domain [D], a node [m] adds a link
+    to a node [m'] of a sibling ring iff
+
+    - (a) [m'] is the closest node at least distance [2{^k}] away for
+      some [k], applied over the union of the merged rings, and
+    - (b) [m'] is strictly closer to [m] than every node of [m]'s own
+      (pre-merge) ring.
+
+    Consequently a node links to its successor in the ring at {e every}
+    level of its domain chain, which is what makes greedy clockwise
+    routing hierarchical: routes never leave the lowest domain
+    containing source and destination (intra-domain locality), and all
+    routes from a domain to an outside target exit through the target's
+    closest predecessor in the domain (inter-domain convergence).
+
+    With a one-level hierarchy, Crescendo is exactly Chord. *)
+
+open Canon_overlay
+
+val build : Rings.t -> Overlay.t
+(** Deterministic given the rings. Domains with no nodes contribute
+    nothing. *)
+
+val links_of_node : Rings.t -> int -> int array
+(** The link set of a single node, leaf-to-root (used by dynamic
+    maintenance to compute the links a joining node must establish). *)

@@ -1,0 +1,1 @@
+let build rng pop = Xor_dht.build_flat (Xor_dht.Random rng) pop

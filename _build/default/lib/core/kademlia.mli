@@ -1,0 +1,10 @@
+(** Kademlia (Maymounkov & Mazieres, IPTPS 2002) — flat XOR-metric DHT,
+    baseline for Kandy (paper §3.3).
+
+    One link per non-empty XOR bucket, chosen uniformly at random (the
+    paper ignores Kademlia's per-bucket replica lists, and so do we).
+    Routing is greedy XOR descent. *)
+
+open Canon_overlay
+
+val build : Canon_rng.Rng.t -> Population.t -> Overlay.t

@@ -1,0 +1,1 @@
+let build rng rings = Xor_dht.build_hierarchical (Xor_dht.Random rng) rings

@@ -1,0 +1,118 @@
+module Rng = Canon_rng.Rng
+
+type trie =
+  | Leaf of int
+  | Branch of trie * trie
+
+type t = {
+  trie : trie;
+  prefixes : (int * int) array; (* node -> (bits, length) *)
+  depth : int;
+  neighbors : int array array;
+}
+
+let size t = Array.length t.prefixes
+
+let depth t = t.depth
+
+let prefix_of t node = t.prefixes.(node)
+
+(* Walk the trie along the top bits of [key] ([depth] bits) until a
+   leaf. *)
+let owner t key =
+  let rec go trie i =
+    match trie with
+    | Leaf node -> node
+    | Branch (zero, one) ->
+        let bit = (key lsr (t.depth - 1 - i)) land 1 in
+        go (if bit = 0 then zero else one) (i + 1)
+  in
+  go t.trie 0
+
+(* All leaves compatible with the [len]-bit prefix [q]: the unique leaf
+   above it, or every leaf below it. *)
+let compatible_leaves trie q len =
+  let rec collect trie acc =
+    match trie with
+    | Leaf node -> node :: acc
+    | Branch (zero, one) -> collect zero (collect one acc)
+  in
+  let rec go trie i =
+    if i = len then collect trie []
+    else
+      match trie with
+      | Leaf node -> [ node ]
+      | Branch (zero, one) ->
+          let bit = (q lsr (len - 1 - i)) land 1 in
+          go (if bit = 0 then zero else one) (i + 1)
+  in
+  go trie 0
+
+let build rng ~n =
+  if n < 1 then invalid_arg "Prefix_can.build: need at least one node";
+  (* Balanced bisection: split the population in half (random side gets
+     the odd element) until singletons; the path is the identifier. *)
+  let prefixes = Array.make n (0, 0) in
+  let next = ref 0 in
+  let rec split count bits len =
+    if count = 1 then begin
+      let node = !next in
+      incr next;
+      prefixes.(node) <- (bits, len);
+      Leaf node
+    end
+    else begin
+      let half = count / 2 in
+      let left_count = if count mod 2 = 0 then half else if Rng.bool rng then half + 1 else half in
+      let zero = split left_count (bits lsl 1) (len + 1) in
+      let one = split (count - left_count) ((bits lsl 1) lor 1) (len + 1) in
+      Branch (zero, one)
+    end
+  in
+  let trie = split n 0 0 in
+  let depth = Array.fold_left (fun acc (_, len) -> max acc len) 0 prefixes in
+  let neighbors =
+    Array.init n (fun node ->
+        let bits, len = prefixes.(node) in
+        let acc = Hashtbl.create 16 in
+        for i = 0 to len - 1 do
+          let q = bits lxor (1 lsl (len - 1 - i)) in
+          List.iter
+            (fun v -> if v <> node then Hashtbl.replace acc v ())
+            (compatible_leaves trie q len)
+        done;
+        Hashtbl.fold (fun v () out -> v :: out) acc [] |> Array.of_list)
+  in
+  { trie; prefixes; depth; neighbors }
+
+let neighbors t node = t.neighbors.(node)
+
+let mean_degree t =
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbors in
+  Float.of_int total /. Float.of_int (max 1 (size t))
+
+let route t ~src ~key =
+  if key < 0 || (t.depth < 62 && key >= 1 lsl t.depth) then
+    invalid_arg "Prefix_can.route: key out of range";
+  let rec go u acc guard =
+    if guard > t.depth + 1 then failwith "Prefix_can.route: did not converge"
+    else begin
+      let bits, len = t.prefixes.(u) in
+      let key_prefix = if len = 0 then 0 else key lsr (t.depth - len) in
+      if key_prefix = bits then List.rev (u :: acc)
+      else begin
+        (* Highest differing bit within u's prefix. *)
+        let diff = key_prefix lxor bits in
+        let i =
+          let rec top j = if diff lsr j <> 0 then len - 1 - j else top (j - 1) in
+          top (len - 1)
+        in
+        (* Pad u's identifier with the key's tail, flip bit i, and hop
+           to the owner — a hypercube edge by construction. *)
+        let a = (bits lsl (t.depth - len)) lor (key land ((1 lsl (t.depth - len)) - 1)) in
+        let b = a lxor (1 lsl (t.depth - 1 - i)) in
+        go (owner t b) (u :: acc) (guard + 1)
+      end
+    end
+  in
+  go src [] 0

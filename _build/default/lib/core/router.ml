@@ -1,0 +1,161 @@
+open Canon_idspace
+open Canon_overlay
+
+exception Stuck of { at : int; key : Id.t; hops : int }
+
+(* A generous hop budget: any genuine route is O(log n); if we exceed
+   the node count something is structurally wrong. *)
+let budget overlay = Overlay.size overlay + 1
+
+let collect overlay src step key =
+  let max_hops = budget overlay in
+  let rec go u acc hops =
+    match step u with
+    | None -> Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
+    | Some v ->
+        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        go v (u :: acc) (hops + 1)
+  in
+  go src [] 0
+
+let collect_generic ~n src step key =
+  let max_hops = n + 1 in
+  let rec go u acc hops =
+    match step u with
+    | None -> Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
+    | Some v ->
+        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        go v (u :: acc) (hops + 1)
+  in
+  go src [] 0
+
+let greedy_clockwise_generic ~n ~id ~links ~src ~key =
+  let step u =
+    let du = Id.distance (id u) key in
+    if du = 0 then None
+    else begin
+      (* Largest clockwise progress that does not overshoot the key:
+         maximize distance(u, v) subject to distance(u, v) <= du,
+         equivalently minimize distance(v, key). *)
+      let best = ref (-1) and best_remaining = ref du in
+      Array.iter
+        (fun v ->
+          let remaining = Id.distance (id v) key in
+          if Id.distance (id u) (id v) <= du && remaining < !best_remaining then begin
+            best := v;
+            best_remaining := remaining
+          end)
+        (links u);
+      if !best < 0 then None else Some !best
+    end
+  in
+  collect_generic ~n src step key
+
+let greedy_clockwise overlay ~src ~key =
+  greedy_clockwise_generic ~n:(Overlay.size overlay)
+    ~id:(Overlay.id overlay)
+    ~links:(Overlay.links overlay)
+    ~src ~key
+
+let greedy_clockwise_lookahead overlay ~src ~key =
+  let step u =
+    let du = Id.distance (Overlay.id overlay u) key in
+    if du = 0 then None
+    else begin
+      (* Score of standing at [w]: remaining clockwise distance to the
+         key. A first hop [v] is scored by the best reachable remaining
+         distance among [v] itself and [v]'s no-overshoot neighbours. *)
+      let remaining w = Id.distance (Overlay.id overlay w) key in
+      let no_overshoot a b =
+        Id.distance (Overlay.id overlay a) (Overlay.id overlay b) <= remaining a
+      in
+      let score v =
+        let best = ref (remaining v) in
+        Array.iter
+          (fun w -> if no_overshoot v w && remaining w < !best then best := remaining w)
+          (Overlay.links overlay v);
+        !best
+      in
+      let best = ref (-1) and best_score = ref du and best_progress = ref (-1) in
+      Array.iter
+        (fun v ->
+          if no_overshoot u v then begin
+            let s = score v in
+            let progress = du - remaining v in
+            if s < !best_score || (s = !best_score && progress > !best_progress) then begin
+              best := v;
+              best_score := s;
+              best_progress := progress
+            end
+          end)
+        (Overlay.links overlay u);
+      if !best < 0 then None else Some !best
+    end
+  in
+  collect overlay src step key
+
+let greedy_xor overlay ~src ~key =
+  let step u =
+    let du = Id.xor_distance (Overlay.id overlay u) key in
+    if du = 0 then None
+    else begin
+      let best = ref (-1) and best_d = ref du in
+      Array.iter
+        (fun v ->
+          let d = Id.xor_distance (Overlay.id overlay v) key in
+          if d < !best_d then begin
+            best := v;
+            best_d := d
+          end)
+        (Overlay.links overlay u);
+      if !best < 0 then None else Some !best
+    end
+  in
+  collect overlay src step key
+
+let greedy_clockwise_avoiding overlay ~dead ~src ~key =
+  if dead src then invalid_arg "Router.greedy_clockwise_avoiding: dead source";
+  let max_hops = budget overlay in
+  let step u =
+    let du = Id.distance (Overlay.id overlay u) key in
+    if du = 0 then None
+    else begin
+      let best = ref (-1) and best_remaining = ref du in
+      Array.iter
+        (fun v ->
+          if not (dead v) then begin
+            let remaining = Id.distance (Overlay.id overlay v) key in
+            if Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du
+               && remaining < !best_remaining
+            then begin
+              best := v;
+              best_remaining := remaining
+            end
+          end)
+        (Overlay.links overlay u);
+      if !best < 0 then None else Some !best
+    end
+  in
+  (* Unlike the infallible engines we must distinguish "arrived at the
+     key's live predecessor among reachable nodes" from "stranded":
+     stranded means a live link toward the key exists somewhere but this
+     node cannot see it — detectable as: some dead link of [u] would
+     have made progress. *)
+  let rec go u acc hops =
+    match step u with
+    | Some v ->
+        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        go v (u :: acc) (hops + 1)
+    | None ->
+        let du = Id.distance (Overlay.id overlay u) key in
+        let blocked =
+          du <> 0
+          && Array.exists
+               (fun v ->
+                 dead v
+                 && Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du)
+               (Overlay.links overlay u)
+        in
+        if blocked then None else Some Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
+  in
+  go src [] 0

@@ -1,0 +1,60 @@
+(** Routing engines.
+
+    All routing in the paper is greedy and memoryless: a node inspects
+    only its own links (plus, with lookahead, its neighbours' links) and
+    forwards. Three engines cover every system in the repository:
+
+    - {!greedy_clockwise}: Chord, Crescendo, Symphony, Cacophony,
+      nondeterministic Chord/Crescendo. Routes toward a key by taking
+      the link that gets closest to the key clockwise without
+      overshooting it; terminates at the key's closest predecessor
+      among the reachable structure. Crescendo's hierarchical behaviour
+      (§2.2) — intra-domain locality, inter-domain convergence — is an
+      emergent property of this rule; no extra mechanism exists.
+    - {!greedy_clockwise_lookahead}: Symphony/Cacophony's 1-lookahead
+      variant (§3.1) that examines neighbours' neighbours and moves to
+      the first hop of the best 2-hop pair.
+    - {!greedy_xor}: Kademlia/Kandy/CAN/Can-Can bit-fixing: each hop
+      must strictly decrease the XOR distance to the key; terminates at
+      a local minimum (the key's owner when the adjacency is a valid
+      hypercube structure). *)
+
+open Canon_idspace
+open Canon_overlay
+
+exception Stuck of { at : int; key : Id.t; hops : int }
+(** Raised when a route exceeds the hop budget — always a construction
+    bug, never expected on a well-formed overlay. *)
+
+val greedy_clockwise : Overlay.t -> src:int -> key:Id.t -> Route.t
+(** Route from [src] toward [key]; the path ends at the first node
+    having no link that moves clockwise-closer to [key] without passing
+    it. On any overlay whose every node links to its global successor,
+    that final node is the global predecessor of [key]. *)
+
+val greedy_clockwise_generic :
+  n:int ->
+  id:(int -> Id.t) ->
+  links:(int -> int array) ->
+  src:int ->
+  key:Id.t ->
+  Route.t
+(** The same engine over any adjacency (used by the dynamic-maintenance
+    simulator, whose link state is mutable). [n] bounds the hop budget. *)
+
+val greedy_clockwise_lookahead : Overlay.t -> src:int -> key:Id.t -> Route.t
+(** Same termination behaviour as {!greedy_clockwise} but each step
+    picks the neighbour whose own best next step lands closest to the
+    key (Symphony's "greedy routing with a lookahead"). *)
+
+val greedy_xor : Overlay.t -> src:int -> key:Id.t -> Route.t
+(** Route by strictly decreasing XOR distance; ends where no link
+    improves. *)
+
+val greedy_clockwise_avoiding :
+  Overlay.t -> dead:(int -> bool) -> src:int -> key:Id.t -> Route.t option
+(** Greedy clockwise routing that never forwards to a node for which
+    [dead] is true (crashed, unrepaired). Returns [None] when the
+    message strands at a node whose every useful link is dead — the
+    quantity the fault-isolation experiment measures. [src] must be
+    alive. *)

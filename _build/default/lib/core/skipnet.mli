@@ -1,0 +1,44 @@
+(** SkipNet (Harvey et al., USITS 2003) — the related-work system the
+    paper compares against in §6.
+
+    SkipNet arranges nodes in a doubly-linked ring sorted by {e name}
+    (we use hierarchy order, so every domain is a contiguous name
+    interval) and gives each node one pointer per level [i] to its
+    nearest name-neighbours among the nodes sharing the first [i] bits
+    of its random numeric identifier — a skip-list-like structure.
+
+    Two routing modes, matching the paper's discussion:
+    - {!route_by_name}: monotone in name order, so paths between two
+      nodes of a domain {e never leave the domain} — SkipNet's explicit
+      path locality;
+    - {!route_by_numeric}: for hashed content; climbs numeric-prefix
+      rings with clockwise name-order walks. This mode offers {e no
+      guaranteed inter-domain path convergence}, which is exactly the
+      gap the paper's §6 points out and Canon closes; the [skipnet]
+      benchmark quantifies it against Crescendo. *)
+
+open Canon_overlay
+
+type t
+
+val build : Population.t -> t
+(** Names are the hierarchy order of [Population.leaf_of_node] (ties by
+    node index); numeric identifiers are the population's ids. *)
+
+val size : t -> int
+
+val name_rank : t -> int -> int
+(** Position of a node in name order. *)
+
+val node_of_rank : t -> int -> int
+
+val mean_degree : t -> float
+(** Mean number of distinct pointer targets per node. *)
+
+val route_by_name : t -> src:int -> dst:int -> Route.t
+(** Monotone name-order routing; always reaches [dst]. *)
+
+val route_by_numeric : t -> src:int -> key:Canon_idspace.Id.t -> Route.t
+(** Routes toward the node whose numeric identifier best matches [key]
+    (longest common prefix, ties broken by the search); every ring-walk
+    step counts as a hop. *)

@@ -1,0 +1,49 @@
+open Canon_idspace
+open Canon_overlay
+module Rng = Canon_rng.Rng
+
+let long_links_per_node n = if n <= 1 then 0 else Id.log2_floor n
+
+let harmonic_distance rng ~n =
+  if n < 2 then invalid_arg "Symphony.harmonic_distance: need n >= 2";
+  (* Inverse-CDF sampling: x = n^(u-1) has density 1/(x ln n) on [1/n, 1). *)
+  let u = Rng.float rng in
+  let x = Float.of_int n ** (u -. 1.0) in
+  let d = int_of_float (x *. Float.of_int Id.space) in
+  max 1 (min (Id.space - 1) d)
+
+(* Draw [wanted] harmonic long links for the node with identifier [id]
+   against [ring], keeping only targets at clockwise distance below
+   [cap]. Failed draws (self, duplicate, beyond cap) are redrawn a
+   bounded number of times, as in Symphony's own construction. *)
+let draw_long_links rng ~ids ring id ~wanted ~cap acc =
+  let n = Ring.size ring in
+  if n >= 2 && wanted > 0 then begin
+    let added = ref 0 and attempts = ref 0 in
+    while !added < wanted && !attempts < 16 * wanted do
+      incr attempts;
+      let d = harmonic_distance rng ~n in
+      let target = Ring.first_at_or_after ring (Id.add id d) in
+      let dist = Id.distance id ids.(target) in
+      if dist > 0 && dist < cap && not (Link_set.mem acc target) then begin
+        Link_set.add acc target;
+        incr added
+      end
+    done
+  end
+
+let build rng pop =
+  let n = Population.size pop in
+  let ids = pop.Population.ids in
+  let global = Ring.of_members ~ids ~members:(Array.init n Fun.id) in
+  let links =
+    Array.init n (fun node ->
+        let id = ids.(node) in
+        let acc = Link_set.create ~self:node in
+        if n >= 2 then begin
+          Link_set.add acc (Ring.successor_of_id global id);
+          draw_long_links rng ~ids global id ~wanted:(long_links_per_node n) ~cap:Id.space acc
+        end;
+        Link_set.to_array acc)
+  in
+  Overlay.create pop ~links

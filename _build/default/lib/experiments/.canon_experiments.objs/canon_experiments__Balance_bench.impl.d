@@ -1,0 +1,1 @@
+lib/experiments/balance_bench.ml: Array Balance Canon_balance Canon_hierarchy Canon_rng Canon_stats Common Domain_tree Float List Placement

@@ -1,0 +1,1 @@
+lib/experiments/balance_bench.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/caching_bench.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Canon_core Canon_hierarchy Canon_overlay Canon_rng Canon_topology Domain_tree Float Latency Overlay Placement Population Route Router Sys Transit_stub

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Canon_hierarchy Canon_overlay Canon_rng Canon_topology Domain_tree Latency Overlay Population Transit_stub

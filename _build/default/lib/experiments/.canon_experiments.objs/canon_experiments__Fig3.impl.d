@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Canon_core Canon_idspace Canon_overlay Canon_stats Common Crescendo Float List Overlay Printf Rings

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Canon_core Canon_overlay Canon_stats Common Crescendo Float List Overlay Printf Rings

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Canon_core Canon_idspace Canon_overlay Canon_rng Canon_stats Common Crescendo Float List Printf Rings

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Canon_core Canon_overlay Canon_rng Canon_stats Chord Common Crescendo Float List Overlay Printf Proximity Rings Route

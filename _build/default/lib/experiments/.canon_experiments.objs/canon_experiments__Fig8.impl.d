@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Canon_core Canon_hierarchy Canon_idspace Canon_overlay Canon_rng Canon_stats Common Crescendo Domain_tree Float Id Population Printf Proximity Ring Rings Route Router

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Canon_core Canon_overlay Canon_rng Canon_stats Canon_workload Common Crescendo Float Multicast Overlay Population Printf Proximity Rings Router

@@ -1,0 +1,1 @@
+lib/experiments/hybrid_bench.ml: Canon_core Canon_hierarchy Canon_overlay Canon_rng Canon_stats Common Crescendo Domain_tree Float Hybrid List Overlay Placement Population Printf Rings

@@ -1,0 +1,1 @@
+lib/experiments/hybrid_bench.mli: Canon_stats Common

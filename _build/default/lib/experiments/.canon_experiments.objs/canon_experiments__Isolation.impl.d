@@ -1,0 +1,1 @@
+lib/experiments/isolation.ml: Array Canon_core Canon_hierarchy Canon_overlay Canon_rng Canon_stats Chord Common Crescendo Domain_tree Float List Overlay Population Printf Ring Rings Route Router

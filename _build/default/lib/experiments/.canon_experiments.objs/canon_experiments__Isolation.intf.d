@@ -1,0 +1,1 @@
+lib/experiments/isolation.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/lookahead_bench.ml: Cacophony Canon_core Canon_overlay Canon_rng Canon_stats Common Float List Overlay Rings Route Router Symphony

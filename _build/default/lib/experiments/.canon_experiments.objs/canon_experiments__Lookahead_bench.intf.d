@@ -1,0 +1,1 @@
+lib/experiments/lookahead_bench.mli: Canon_stats Common

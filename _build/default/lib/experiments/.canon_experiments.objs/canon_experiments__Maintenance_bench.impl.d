@@ -1,0 +1,1 @@
+lib/experiments/maintenance_bench.ml: Array Canon_overlay Canon_rng Canon_sim Canon_stats Churn Common Float Fun List Maintenance Population Printf

@@ -1,0 +1,1 @@
+lib/experiments/maintenance_bench.mli: Canon_stats Common

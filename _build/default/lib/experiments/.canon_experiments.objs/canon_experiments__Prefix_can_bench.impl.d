@@ -1,0 +1,1 @@
+lib/experiments/prefix_can_bench.ml: Can Canon_core Canon_overlay Canon_rng Canon_stats Common Float List Overlay Prefix_can Route Router

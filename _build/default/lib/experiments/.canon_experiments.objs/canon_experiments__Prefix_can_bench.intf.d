@@ -1,0 +1,1 @@
+lib/experiments/prefix_can_bench.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/skipnet_bench.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/theorems.ml: Canon_core Canon_overlay Canon_rng Canon_stats Common Crescendo Float List Overlay Printf Rings

@@ -1,0 +1,1 @@
+lib/experiments/theorems.mli: Canon_stats Common

@@ -1,0 +1,1 @@
+lib/experiments/variants.mli: Canon_stats Common

@@ -1,0 +1,60 @@
+open Canon_hierarchy
+open Canon_balance
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+(* Mean, over depth-1 domains, of the within-domain partition ratio. *)
+let domain_ratio tree ids leaf_of_node =
+  let root_children = Domain_tree.children tree (Domain_tree.root tree) in
+  let ratios =
+    Array.to_list root_children
+    |> List.filter_map (fun d ->
+           let members =
+             Array.to_list leaf_of_node
+             |> List.mapi (fun node leaf -> (node, leaf))
+             |> List.filter (fun (_, leaf) -> Domain_tree.is_ancestor tree ~anc:d ~desc:leaf)
+             |> List.map fst
+           in
+           if List.length members >= 2 then
+             Some (Balance.domain_partition_ratio ids ~members:(Array.of_list members))
+           else None)
+  in
+  match ratios with
+  | [] -> Float.nan
+  | _ -> List.fold_left ( +. ) 0.0 ratios /. Float.of_int (List.length ratios)
+
+let run ~scale ~seed =
+  let sizes = match scale with `Paper -> [ 1024; 4096; 16384 ] | `Quick -> [ 512; 2048 ] in
+  let table =
+    Table.create ~title:"Partition balance: max/min partition ratio"
+      ~columns:
+        [
+          "n"; "Random global"; "Bisection global"; "Hier global"; "Random domain";
+          "Hier domain";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let tree =
+        Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout:Common.paper_fanout ~levels:3)
+      in
+      let rng = Rng.create (seed + n) in
+      let leaf_of_node =
+        Canon_hierarchy.Placement.assign (Rng.split rng) tree
+          (Placement.Zipfian Common.paper_zipf) ~n
+      in
+      let random_ids = Balance.select_ids (Rng.split rng) Balance.Random_ids ~leaf_of_node in
+      let bisect_ids = Balance.select_ids (Rng.split rng) Balance.Bisection ~leaf_of_node in
+      let hier_ids =
+        Balance.select_ids (Rng.split rng) Balance.Hierarchical ~leaf_of_node
+      in
+      Table.add_float_row table (string_of_int n)
+        [
+          Balance.partition_ratio random_ids;
+          Balance.partition_ratio bisect_ids;
+          Balance.partition_ratio hier_ids;
+          domain_ratio tree random_ids leaf_of_node;
+          domain_ratio tree hier_ids leaf_of_node;
+        ])
+    sizes;
+  table

@@ -1,0 +1,9 @@
+(** §4.3 ablation: max/min partition-size ratio under random identifier
+    selection, the bisection scheme, and the hierarchical far-apart
+    scheme — globally and within depth-1 domains.
+
+    Expected shape: random grows like log² n; bisection stays a small
+    constant globally; the hierarchical variant additionally keeps
+    domain-level partitions balanced. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,64 @@
+open Canon_hierarchy
+open Canon_core
+open Canon_overlay
+open Canon_storage
+open Canon_workload
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+module Zipf = Canon_stats.Zipf
+
+let run ~scale ~seed =
+  let setup = Common.topology_setup ~seed in
+  let n = match scale with `Paper -> 8192 | `Quick -> 2048 in
+  let num_keys = 400 in
+  let num_queries = match scale with `Paper -> 6000 | `Quick -> 2000 in
+  let pop = Common.topology_population ~seed:(seed + 11) setup ~n in
+  let node_latency = Common.node_latency setup pop in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  let root = Domain_tree.root pop.Population.tree in
+  let rng = Rng.create (seed + 4000) in
+  let ks = Workload.keyspace (Rng.split rng) ~keys:num_keys in
+  let store = Store.create rings in
+  for i = 0 to num_keys - 1 do
+    let publisher = Rng.int_below rng n in
+    Store.insert store ~publisher ~key:(Workload.key ks i)
+      ~value:(Printf.sprintf "object-%d" i) ~storage_domain:root ~access_domain:root
+  done;
+  let sampler = Zipf.sampler ~n:num_keys ~alpha:0.9 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Hierarchical caching: hit rate and latency (n = %d)" n)
+      ~columns:
+        [ "Locality"; "Uncached lat"; "Cached lat"; "Hit rate"; "Latency saving" ]
+  in
+  List.iter
+    (fun locality ->
+      let queries =
+        Workload.local_queries (Rng.create (seed + int_of_float (locality *. 100.0))) pop ks
+          ~sampler ~locality ~count:num_queries
+      in
+      let measure capacity =
+        let cache = Cache.create rings ~capacity in
+        let total_lat = ref 0.0 and hits = ref 0 and answered = ref 0 in
+        List.iter
+          (fun q ->
+            match
+              Cache.query cache store overlay ~querier:q.Workload.querier ~key:q.Workload.key
+            with
+            | None -> ()
+            | Some r ->
+                incr answered;
+                if r.Cache.served_from_cache then incr hits;
+                total_lat := !total_lat +. Route.latency r.Cache.path ~node_latency)
+          queries;
+        ( !total_lat /. Float.of_int (max 1 !answered),
+          Float.of_int !hits /. Float.of_int (max 1 !answered) )
+      in
+      let uncached_lat, _ = measure 0 in
+      let cached_lat, hit_rate = measure 64 in
+      Table.add_float_row table
+        (Printf.sprintf "%.1f" locality)
+        [ uncached_lat; cached_lat; hit_rate; 1.0 -. (cached_lat /. uncached_lat) ])
+    [ 0.0; 0.5; 0.9 ];
+  table

@@ -1,0 +1,10 @@
+(** §4.2 ablation: hierarchical caching under a locality workload.
+
+    Queries follow a Zipfian key popularity with hierarchical locality
+    of reference; the table compares cache hit rate and mean query
+    latency with caching off and on, across locality intensities.
+    Expected shape: hit rates climb with locality, and latency falls
+    well below the uncached baseline because hits are served at the
+    lowest common domain. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

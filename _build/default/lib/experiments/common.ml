@@ -1,0 +1,77 @@
+open Canon_hierarchy
+open Canon_topology
+open Canon_overlay
+open Canon_core
+module Rng = Canon_rng.Rng
+
+type scale = [ `Paper | `Quick ]
+
+let scale_of_env () =
+  match Sys.getenv_opt "CANON_SCALE" with
+  | Some ("quick" | "QUICK") -> `Quick
+  | Some _ | None -> `Paper
+
+let sizes = function
+  | `Paper -> [ 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+  | `Quick -> [ 1024; 2048; 4096 ]
+
+let topo_sizes = function
+  | `Paper -> [ 2048; 4096; 8192; 16384; 32768; 65536 ]
+  | `Quick -> [ 2048; 4096 ]
+
+let big_n = function
+  | `Paper -> 32768
+  | `Quick -> 4096
+
+let paper_fanout = 10
+
+let paper_zipf = 1.25
+
+let hierarchy_population ~seed ~levels ~n =
+  let rng = Rng.create seed in
+  let tree = Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout:paper_fanout ~levels) in
+  Population.create rng ~tree ~policy:(Placement.Zipfian paper_zipf) ~n
+
+type topo_setup = {
+  ts : Transit_stub.t;
+  latency : Latency.t;
+  tree : Domain_tree.t;
+  mean_direct : float;
+}
+
+let topology_setup ~seed =
+  let rng = Rng.create seed in
+  let ts = Transit_stub.generate rng Transit_stub.default_params in
+  let latency = Latency.create ts in
+  let mean_direct = Latency.mean_node_latency latency (Rng.split rng) ~samples:20_000 in
+  { ts; latency; tree = Transit_stub.hierarchy ts; mean_direct }
+
+let topology_population ~seed setup ~n =
+  let rng = Rng.create seed in
+  Population.create_with_attach rng ~tree:setup.tree
+    ~leaf_to_attach:(fun leaf -> Transit_stub.stub_router_of_leaf setup.ts leaf)
+    ~n
+
+let node_latency setup pop =
+  match pop.Population.attach with
+  | None -> invalid_arg "Common.node_latency: population has no attachment points"
+  | Some attach -> fun a b -> Latency.node_latency setup.latency attach.(a) attach.(b)
+
+let mean_hops rng overlay ~samples =
+  let n = Overlay.size overlay in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    total := !total + Route.hops (Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst))
+  done;
+  Float.of_int !total /. Float.of_int samples
+
+let mean_route_latency rng overlay ~node_latency ~samples =
+  let n = Overlay.size overlay in
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
+    total := !total +. Route.latency route ~node_latency
+  done;
+  !total /. Float.of_int samples

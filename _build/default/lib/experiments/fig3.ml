@@ -1,0 +1,28 @@
+open Canon_overlay
+open Canon_core
+module Table = Canon_stats.Table
+
+let levels_list = [ 1; 2; 3; 4; 5 ]
+
+let run ~scale ~seed =
+  let table =
+    Table.create ~title:"Figure 3: Avg #links/node vs network size"
+      ~columns:
+        ("n" :: "log2(n)"
+        :: List.map (fun l -> if l = 1 then "Chord(L=1)" else Printf.sprintf "Levels=%d" l)
+             levels_list)
+  in
+  List.iter
+    (fun n ->
+      let row =
+        List.map
+          (fun levels ->
+            let pop = Common.hierarchy_population ~seed:(seed + levels) ~levels ~n in
+            let overlay = Crescendo.build (Rings.build pop) in
+            Overlay.mean_degree overlay)
+          levels_list
+      in
+      Table.add_float_row table (string_of_int n)
+        (Float.of_int (Canon_idspace.Id.log2_floor n) :: row))
+    (Common.sizes scale);
+  table

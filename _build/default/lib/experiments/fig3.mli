@@ -1,0 +1,8 @@
+(** Figure 3: average number of links per node vs network size, for
+    hierarchies of 1 (= flat Chord) to 5 levels.
+
+    Expected shape: all curves track log2 n closely, and the link count
+    {e decreases slightly} as the number of levels grows (Jensen's
+    inequality — see the paper's discussion). *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

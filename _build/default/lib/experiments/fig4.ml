@@ -1,0 +1,40 @@
+open Canon_overlay
+open Canon_core
+module Table = Canon_stats.Table
+module Histogram = Canon_stats.Histogram
+
+let levels_list = [ 1; 2; 3; 4; 5 ]
+
+let run ~scale ~seed =
+  let n = Common.big_n scale in
+  let histograms =
+    List.map
+      (fun levels ->
+        let pop = Common.hierarchy_population ~seed:(seed + levels) ~levels ~n in
+        let overlay = Crescendo.build (Rings.build pop) in
+        let h = Histogram.create () in
+        Array.iter (Histogram.add h) (Overlay.degrees overlay);
+        h)
+      levels_list
+  in
+  let max_links =
+    List.fold_left (fun acc h -> max acc (Histogram.max_value h)) 0 histograms
+  in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Figure 4: PDF of #links/node (n = %d)" n)
+      ~columns:
+        ("#links"
+        :: List.map (fun l -> if l = 1 then "Chord(L=1)" else Printf.sprintf "Levels=%d" l)
+             levels_list)
+  in
+  for links = 0 to max_links do
+    let fractions =
+      List.map
+        (fun h -> Float.of_int (Histogram.count h links) /. Float.of_int (max 1 (Histogram.total h)))
+        histograms
+    in
+    if List.exists (fun f -> f > 0.0005) fractions then
+      Table.add_float_row table (string_of_int links) fractions
+  done;
+  table

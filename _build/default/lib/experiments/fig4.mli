@@ -1,0 +1,8 @@
+(** Figure 4: probability distribution of the number of links per node
+    in a 32K-node network, for 1-5 hierarchy levels.
+
+    Expected shape: the distribution flattens to the {e left} of the
+    flat-Chord mode as levels increase (more nodes with slightly fewer
+    links), while the maximum barely moves. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

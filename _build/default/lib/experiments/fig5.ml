@@ -1,0 +1,30 @@
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let levels_list = [ 1; 2; 3; 4; 5 ]
+
+let run ~scale ~seed =
+  let samples = match scale with `Paper -> 8000 | `Quick -> 2000 in
+  let table =
+    Table.create ~title:"Figure 5: Avg routing hops vs network size"
+      ~columns:
+        ("n" :: "0.5*log2(n)"
+        :: List.map (fun l -> if l = 1 then "Chord(L=1)" else Printf.sprintf "Levels=%d" l)
+             levels_list)
+  in
+  List.iter
+    (fun n ->
+      let row =
+        List.map
+          (fun levels ->
+            let pop = Common.hierarchy_population ~seed:(seed + levels) ~levels ~n in
+            let overlay = Crescendo.build (Rings.build pop) in
+            Common.mean_hops (Rng.create (seed + (100 * levels))) overlay ~samples)
+          levels_list
+      in
+      Table.add_float_row table (string_of_int n)
+        ((0.5 *. Float.of_int (Canon_idspace.Id.log2_floor n)) :: row))
+    (Common.sizes scale);
+  table

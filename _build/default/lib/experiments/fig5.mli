@@ -1,0 +1,7 @@
+(** Figure 5: average number of routing hops vs network size, for 1-5
+    hierarchy levels.
+
+    Expected shape: ~0.5 log2 n + c for all curves; c grows slightly
+    with the number of levels but by at most ~0.7 (paper §5.1). *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

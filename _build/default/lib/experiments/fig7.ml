@@ -1,0 +1,63 @@
+open Canon_idspace
+open Canon_hierarchy
+open Canon_core
+open Canon_overlay
+open Canon_storage
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let run ~scale ~seed =
+  let setup = Common.topology_setup ~seed in
+  let n = Common.big_n scale in
+  let trials = match scale with `Paper -> 1500 | `Quick -> 500 in
+  let pop = Common.topology_population ~seed:(seed + 7) setup ~n in
+  let node_latency = Common.node_latency setup pop in
+  let rings = Rings.build pop in
+  let crescendo = Crescendo.build rings in
+  let crescendo_prox = Proximity.build_crescendo rings ~node_latency in
+  let chord_prox = Proximity.build_chord pop ~node_latency in
+  let global_ring = Rings.ring rings (Domain_tree.root pop.Population.tree) in
+  let store = Store.create rings in
+  let max_depth = Domain_tree.height pop.Population.tree in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Figure 7: Latency (ms) vs query locality level (n = %d)" n)
+      ~columns:[ "Locality"; "Chord (Prox.)"; "Crescendo (No Prox.)"; "Crescendo (Prox.)" ]
+  in
+  for level = 0 to max_depth do
+    let rng = Rng.create (seed + 1000 + level) in
+    let sum_chord_prox = ref 0.0 in
+    let sum_crescendo = ref 0.0 in
+    let sum_crescendo_prox = ref 0.0 in
+    for _ = 1 to trials do
+      let querier = Rng.int_below rng n in
+      let domain = Population.domain_of_node_at_depth pop querier level in
+      let key = Id.random rng in
+      (* Hierarchical systems: the content lives in the querier's
+         level-L domain; the store lookup measures the real query path. *)
+      Store.insert store ~publisher:querier ~key ~value:"blob" ~storage_domain:domain
+        ~access_domain:domain;
+      let lat overlay =
+        match Store.lookup store overlay ~querier ~key with
+        | Some hit -> Route.latency hit.Store.path ~node_latency
+        | None -> failwith "fig7: stored content not found"
+      in
+      sum_crescendo := !sum_crescendo +. lat crescendo;
+      sum_crescendo_prox := !sum_crescendo_prox +. lat (Proximity.overlay crescendo_prox);
+      Store.remove store ~key ~storage_domain:domain ~access_domain:domain;
+      (* Flat Chord cannot constrain placement: the content sits at the
+         globally responsible node wherever it matters, so the query
+         cost is the global route. *)
+      let responsible = Ring.predecessor_of_id global_ring key in
+      let route = Proximity.route chord_prox ~src:querier ~dst:responsible in
+      sum_chord_prox := !sum_chord_prox +. Route.latency route ~node_latency
+    done;
+    let label = if level = 0 then "Top Level" else Printf.sprintf "Level %d" level in
+    Table.add_float_row table label
+      [
+        !sum_chord_prox /. Float.of_int trials;
+        !sum_crescendo /. Float.of_int trials;
+        !sum_crescendo_prox /. Float.of_int trials;
+      ]
+  done;
+  table

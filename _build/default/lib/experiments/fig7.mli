@@ -1,0 +1,11 @@
+(** Figure 7: query latency as a function of query locality.
+
+    Content is stored {e within the querier's domain} at level L
+    (storage = access domain); "Top Level" content lives anywhere.
+    Expected shape: Crescendo's latency collapses as locality deepens
+    (virtually zero once queries stay inside a stub domain), while
+    Chord — even with proximity adaptation — barely improves, because a
+    flat DHT must route to the globally responsible node regardless of
+    where the content matters. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

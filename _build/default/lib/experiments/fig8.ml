@@ -1,0 +1,54 @@
+open Canon_idspace
+open Canon_hierarchy
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let run ~scale ~seed =
+  let setup = Common.topology_setup ~seed in
+  let n = Common.big_n scale in
+  let trials = match scale with `Paper -> 1200 | `Quick -> 400 in
+  let pop = Common.topology_population ~seed:(seed + 8) setup ~n in
+  let node_latency = Common.node_latency setup pop in
+  let rings = Rings.build pop in
+  let crescendo = Crescendo.build rings in
+  let chord_prox = Proximity.build_chord pop ~node_latency in
+  let global_ring = Rings.ring rings (Domain_tree.root pop.Population.tree) in
+  let max_depth = Domain_tree.height pop.Population.tree in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Figure 8: Path overlap fraction vs domain level (n = %d)" n)
+      ~columns:
+        [ "Domain"; "Crescendo hops"; "Crescendo latency"; "Chord(Prox) hops"; "Chord(Prox) latency" ]
+  in
+  for level = 0 to max_depth do
+    let rng = Rng.create (seed + 2000 + level) in
+    let sums = Array.make 4 0.0 in
+    let done_trials = ref 0 in
+    while !done_trials < trials do
+      let r = Rng.int_below rng n in
+      let domain = Population.domain_of_node_at_depth pop r level in
+      let ring = Rings.ring rings domain in
+      if Ring.size ring >= 2 then begin
+        incr done_trials;
+        let r' = Ring.node_at ring (Rng.int_below rng (Ring.size ring)) in
+        let key = Id.random rng in
+        (* Crescendo: both nodes route greedily toward the key. *)
+        let p = Router.greedy_clockwise crescendo ~src:r ~key in
+        let p' = Router.greedy_clockwise crescendo ~src:r' ~key in
+        sums.(0) <- sums.(0) +. Route.overlap_fraction ~reference:p p' `Hops;
+        sums.(1) <- sums.(1) +. Route.overlap_fraction ~reference:p p' (`Latency node_latency);
+        (* Chord (Prox.): both route to the globally responsible node. *)
+        let responsible = Ring.predecessor_of_id global_ring key in
+        let q = Proximity.route chord_prox ~src:r ~dst:responsible in
+        let q' = Proximity.route chord_prox ~src:r' ~dst:responsible in
+        sums.(2) <- sums.(2) +. Route.overlap_fraction ~reference:q q' `Hops;
+        sums.(3) <- sums.(3) +. Route.overlap_fraction ~reference:q q' (`Latency node_latency)
+      end
+    done;
+    let label = if level = 0 then "Top Level" else Printf.sprintf "Level %d" level in
+    Table.add_float_row table label
+      (Array.to_list (Array.map (fun s -> s /. Float.of_int trials) sums))
+  done;
+  table

@@ -1,0 +1,10 @@
+(** Figure 8: hop and latency overlap fractions vs domain level.
+
+    Two nodes of the same level-L domain query the same random key; the
+    overlap fraction measures how much of the second path retraces the
+    first — the benefit of caching the first answer along its path.
+    Expected shape: near zero for Chord (Prox.) at every level, rising
+    steeply with domain level for Crescendo (paths must converge at the
+    domain proxy), with latency overlap above hop overlap. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

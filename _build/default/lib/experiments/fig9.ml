@@ -1,0 +1,56 @@
+open Canon_core
+open Canon_overlay
+open Canon_workload
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let run ~scale ~seed =
+  let setup = Common.topology_setup ~seed in
+  let n = Common.big_n scale in
+  let sources = match scale with `Paper -> 1000 | `Quick -> 400 in
+  let repeats = match scale with `Paper -> 10 | `Quick -> 4 in
+  let pop = Common.topology_population ~seed:(seed + 9) setup ~n in
+  let node_latency = Common.node_latency setup pop in
+  let rings = Rings.build pop in
+  let crescendo = Crescendo.build rings in
+  let chord_prox = Proximity.build_chord pop ~node_latency in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 9: Expected #inter-domain links in a %d-source multicast tree (n = %d)"
+           sources n)
+      ~columns:[ "Domain level"; "Crescendo"; "Chord (Prox.)"; "Ratio" ]
+  in
+  let rng = Rng.create (seed + 3000) in
+  (* Average over several random destinations, as the paper reports
+     expectations. *)
+  let totals = Array.make_matrix 3 2 0.0 in
+  for _ = 1 to repeats do
+    let dst = Rng.int_below rng n in
+    let srcs = Array.init sources (fun _ -> Rng.int_below rng n) in
+    let crescendo_routes =
+      Array.to_list
+        (Array.map (fun s -> Router.greedy_clockwise crescendo ~src:s ~key:(Overlay.id crescendo dst)) srcs)
+    in
+    let chord_routes =
+      Array.to_list (Array.map (fun s -> Proximity.route chord_prox ~src:s ~dst) srcs)
+    in
+    let t_crescendo = Multicast.of_routes crescendo_routes in
+    let t_chord = Multicast.of_routes chord_routes in
+    for level = 1 to 3 do
+      let domain_of_node node = Population.domain_of_node_at_depth pop node level in
+      totals.(level - 1).(0) <-
+        totals.(level - 1).(0)
+        +. Float.of_int (Multicast.inter_domain_edges t_crescendo ~domain_of_node);
+      totals.(level - 1).(1) <-
+        totals.(level - 1).(1)
+        +. Float.of_int (Multicast.inter_domain_edges t_chord ~domain_of_node)
+    done
+  done;
+  for level = 1 to 3 do
+    let c = totals.(level - 1).(0) /. Float.of_int repeats in
+    let h = totals.(level - 1).(1) /. Float.of_int repeats in
+    Table.add_float_row table (string_of_int level) [ c; h; c /. Float.max 1.0 h ]
+  done;
+  table

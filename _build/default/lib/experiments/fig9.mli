@@ -1,0 +1,9 @@
+(** Figure 9 (table): number of inter-domain links in a 1000-source
+    multicast tree, with "inter-domain" defined at hierarchy levels 1-3.
+
+    Expected shape: Crescendo's tree uses a small fraction of the
+    inter-domain links Chord (Prox.) uses — the paper reports ~1/44 at
+    level 1 and ~15% at level 3 — because converging paths share their
+    domain-crossing suffixes. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,35 @@
+open Canon_core
+open Canon_overlay
+open Canon_hierarchy
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let run ~scale ~seed =
+  let n = match scale with `Paper -> 16384 | `Quick -> 2048 in
+  let samples = match scale with `Paper -> 4000 | `Quick -> 1000 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Hybrid (LAN clique + Crescendo) vs Crescendo (n = %d)" n)
+      ~columns:
+        [ "LAN size"; "Crescendo deg"; "Hybrid deg"; "Crescendo hops"; "Hybrid hops" ]
+  in
+  (* Vary the expected LAN (leaf-domain) size by varying the number of
+     leaves: fanout f over 2 internal levels gives n / f^2 per leaf. *)
+  List.iter
+    (fun fanout ->
+      let tree = Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout ~levels:3) in
+      let rng = Rng.create (seed + fanout) in
+      let pop = Population.create rng ~tree ~policy:Placement.Uniform ~n in
+      let rings = Rings.build pop in
+      let crescendo = Crescendo.build rings in
+      let hybrid = Hybrid.build rings in
+      let lan = Float.of_int n /. Float.of_int (fanout * fanout) in
+      Table.add_float_row table (Printf.sprintf "%.0f" lan)
+        [
+          Overlay.mean_degree crescendo;
+          Overlay.mean_degree hybrid;
+          Common.mean_hops (Rng.create (seed + 1)) crescendo ~samples;
+          Common.mean_hops (Rng.create (seed + 1)) hybrid ~samples;
+        ])
+    [ 16; 8; 4 ];
+  table

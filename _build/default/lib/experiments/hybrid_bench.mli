@@ -1,0 +1,6 @@
+(** §3.5 ablation: LAN-clique leaf domains + Crescendo merges (the
+    "Hybrid" structure) vs plain Crescendo, across leaf-domain (LAN)
+    sizes. Expected shape: the hybrid trades higher degree (the clique)
+    for fewer hops, with the gap growing with LAN size. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

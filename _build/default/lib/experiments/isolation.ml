@@ -1,0 +1,65 @@
+open Canon_hierarchy
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let success_rate rng overlay ~dead ~members ~probes =
+  let delivered = ref 0 in
+  for _ = 1 to probes do
+    let src = Rng.pick rng members and dst = Rng.pick rng members in
+    match Router.greedy_clockwise_avoiding overlay ~dead ~src ~key:(Overlay.id overlay dst) with
+    | Some route when Route.destination route = dst -> incr delivered
+    | Some _ | None -> ()
+  done;
+  Float.of_int !delivered /. Float.of_int probes
+
+let run ~scale ~seed =
+  let n = match scale with `Paper -> 8192 | `Quick -> 2048 in
+  let probes = match scale with `Paper -> 2000 | `Quick -> 600 in
+  let pop = Common.hierarchy_population ~seed:(seed + 5) ~levels:3 ~n in
+  let tree = pop.Population.tree in
+  let rings = Rings.build pop in
+  let chord = Chord.build pop in
+  let crescendo = Crescendo.build rings in
+  (* The observed domain: the first depth-1 domain with enough nodes. *)
+  let domain =
+    let kids = Domain_tree.children tree (Domain_tree.root tree) in
+    let best = ref kids.(0) and best_size = ref 0 in
+    Array.iter
+      (fun d ->
+        let s = Ring.size (Rings.ring rings d) in
+        if s > !best_size then begin
+          best := d;
+          best_size := s
+        end)
+      kids;
+    !best
+  in
+  let members = Ring.members (Rings.ring rings domain) in
+  let inside = Array.make n false in
+  Array.iter (fun m -> inside.(m) <- true) members;
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fault isolation: intra-domain delivery vs outside-failure rate (n = %d, domain of \
+            %d nodes, no repair)"
+           n (Array.length members))
+      ~columns:[ "outside failures"; "Chord delivery"; "Crescendo delivery" ]
+  in
+  List.iter
+    (fun fraction ->
+      let rng = Rng.create (seed + int_of_float (fraction *. 1000.0)) in
+      let dead_flags = Array.make n false in
+      Array.iteri
+        (fun node _ ->
+          if (not inside.(node)) && Rng.float rng < fraction then dead_flags.(node) <- true)
+        dead_flags;
+      let dead node = dead_flags.(node) in
+      let chord_rate = success_rate (Rng.split rng) chord ~dead ~members ~probes in
+      let crescendo_rate = success_rate (Rng.split rng) crescendo ~dead ~members ~probes in
+      Table.add_float_row table (Printf.sprintf "%.0f%%" (fraction *. 100.0))
+        [ chord_rate; crescendo_rate ])
+    [ 0.0; 0.1; 0.3; 0.5; 0.7; 0.9 ];
+  table

@@ -1,0 +1,11 @@
+(** Fault isolation (§2.2): "interactions between two nodes in a domain
+    cannot be interfered with by, or affected by the failure of, nodes
+    outside the domain."
+
+    Crashes a fraction of the nodes {e outside} one depth-1 domain
+    (without repair) and probes routing between live nodes {e inside}
+    it. Expected shape: Crescendo delivers 100% of intra-domain probes
+    at every outside-failure rate — its paths never leave the domain —
+    while flat Chord's delivery collapses as outside failures grow. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,36 @@
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let mean_hops_with router rng overlay ~samples =
+  let n = Overlay.size overlay in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    total := !total + Route.hops (router overlay ~src ~key:(Overlay.id overlay dst))
+  done;
+  Float.of_int !total /. Float.of_int samples
+
+let run ~scale ~seed =
+  let sizes = match scale with `Paper -> [ 2048; 8192; 32768 ] | `Quick -> [ 1024; 4096 ] in
+  let samples = match scale with `Paper -> 3000 | `Quick -> 1000 in
+  let table =
+    Table.create ~title:"Lookahead ablation (Symphony / Cacophony, 3 levels)"
+      ~columns:
+        [ "n"; "Sym greedy"; "Sym lookahead"; "saving"; "Cac greedy"; "Cac lookahead"; "saving" ]
+  in
+  List.iter
+    (fun n ->
+      let flat = Common.hierarchy_population ~seed ~levels:1 ~n in
+      let hier = Common.hierarchy_population ~seed:(seed + 1) ~levels:3 ~n in
+      let sym = Symphony.build (Rng.create (seed + n)) flat in
+      let cac = Cacophony.build (Rng.create (seed + n + 1)) (Rings.build hier) in
+      let sg = mean_hops_with Router.greedy_clockwise (Rng.create 1) sym ~samples in
+      let sl = mean_hops_with Router.greedy_clockwise_lookahead (Rng.create 1) sym ~samples in
+      let cg = mean_hops_with Router.greedy_clockwise (Rng.create 2) cac ~samples in
+      let cl = mean_hops_with Router.greedy_clockwise_lookahead (Rng.create 2) cac ~samples in
+      Table.add_float_row table (string_of_int n)
+        [ sg; sl; 1.0 -. (sl /. sg); cg; cl; 1.0 -. (cl /. cg) ])
+    sizes;
+  table

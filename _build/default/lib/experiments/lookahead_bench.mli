@@ -1,0 +1,4 @@
+(** §3.1 ablation: greedy routing vs greedy-with-lookahead on Symphony
+    and Cacophony. The paper reports lookahead saves ~40% of hops. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,55 @@
+open Canon_overlay
+open Canon_sim
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+(* Crash 5% of the nodes abruptly, then run failure detection: mean
+   repair messages per crash. *)
+let crash_repair_cost rng pop ~n =
+  let order = Array.init (Population.size pop) Fun.id in
+  Rng.shuffle_in_place rng order;
+  let m = Maintenance.create pop ~present:(Array.sub order 0 n) in
+  let crashes = max 1 (n / 20) in
+  for i = 0 to crashes - 1 do
+    Maintenance.crash m order.(i)
+  done;
+  let stats = Maintenance.repair m in
+  Float.of_int (Maintenance.total stats) /. Float.of_int crashes
+
+let run ~scale ~seed =
+  let sizes = match scale with `Paper -> [ 512; 1024; 2048; 4096 ] | `Quick -> [ 256; 512 ] in
+  let table =
+    Table.create ~title:"Maintenance cost under churn (Crescendo, 3 levels)"
+      ~columns:
+        [
+          "n"; "log2 n"; "join msgs"; "leave msgs"; "repair msgs/crash"; "probes"; "failed";
+          "final n";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let pop = Common.hierarchy_population ~seed:(seed + n) ~levels:3 ~n:(2 * n) in
+      let config =
+        {
+          Churn.initial_nodes = n;
+          events = (match scale with `Paper -> 300 | `Quick -> 120);
+          join_fraction = 0.5;
+          probes_per_event = 3;
+          mean_interarrival = 1.0;
+        }
+      in
+      let report = Churn.run (Rng.create (seed + (7 * n))) pop config in
+      let repair = crash_repair_cost (Rng.create (seed + (11 * n))) pop ~n in
+      Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (log (Float.of_int n) /. log 2.0);
+          Printf.sprintf "%.1f" report.Churn.join_message_mean;
+          Printf.sprintf "%.1f" report.Churn.leave_message_mean;
+          Printf.sprintf "%.1f" repair;
+          string_of_int report.Churn.probes;
+          string_of_int report.Churn.failed_probes;
+          string_of_int report.Churn.final_population;
+        ])
+    sizes;
+  table

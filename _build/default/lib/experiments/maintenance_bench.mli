@@ -1,0 +1,6 @@
+(** §2.3 check: messages per join/leave under churn, vs network size.
+    The paper claims O(log n) messages per insertion; the table reports
+    the measured means alongside log2 n, plus probe success under
+    churn. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

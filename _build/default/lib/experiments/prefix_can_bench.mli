@@ -1,0 +1,5 @@
+(** §3.4 parity: the literal binary-prefix-tree CAN with virtual-node
+    padding vs the XOR-bucket realisation used by {!Canon_core.Can}.
+    Expected shape: both have ~log2 n degree and ~0.5 log2 n hops. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

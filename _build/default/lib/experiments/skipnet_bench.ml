@@ -1,0 +1,116 @@
+open Canon_idspace
+open Canon_hierarchy
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let run ~scale ~seed =
+  let n = match scale with `Paper -> 8192 | `Quick -> 2048 in
+  let trials = match scale with `Paper -> 1000 | `Quick -> 300 in
+  let pop = Common.hierarchy_population ~seed:(seed + 6) ~levels:3 ~n in
+  let tree = pop.Population.tree in
+  let rings = Rings.build pop in
+  let crescendo = Crescendo.build rings in
+  let skipnet = Skipnet.build pop in
+  let rng = Rng.create (seed + 600) in
+  (* hops: node-to-node (name routing for SkipNet). *)
+  let sk_hops = ref 0 and cr_hops = ref 0 in
+  for _ = 1 to trials do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    sk_hops := !sk_hops + Route.hops (Skipnet.route_by_name skipnet ~src ~dst);
+    cr_hops := !cr_hops + Route.hops (Router.greedy_clockwise crescendo ~src ~key:(Overlay.id crescendo dst))
+  done;
+  (* locality rate for intra-domain (depth-1) node-to-node routes. *)
+  let locality route_nodes lca =
+    Array.for_all
+      (fun node -> Domain_tree.is_ancestor tree ~anc:lca ~desc:pop.Population.leaf_of_node.(node))
+      route_nodes
+  in
+  let sk_local = ref 0 and cr_local = ref 0 and local_trials = ref 0 in
+  while !local_trials < trials do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    let lca = Population.lca_of_nodes pop src dst in
+    if Domain_tree.depth tree lca >= 1 then begin
+      incr local_trials;
+      let sk = Skipnet.route_by_name skipnet ~src ~dst in
+      let cr = Router.greedy_clockwise crescendo ~src ~key:(Overlay.id crescendo dst) in
+      if locality sk.Route.nodes lca then incr sk_local;
+      if locality cr.Route.nodes lca then incr cr_local
+    end
+  done;
+  (* convergence for hashed content: queries for one random key from 30
+     random nodes of one depth-1 domain; count distinct exit nodes. *)
+  let exits_and_overlap routes domain =
+    let exits = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let exit = ref (-1) in
+        Array.iter
+          (fun node ->
+            if Domain_tree.is_ancestor tree ~anc:domain ~desc:pop.Population.leaf_of_node.(node)
+            then exit := node)
+          r.Route.nodes;
+        Hashtbl.replace exits !exit ())
+      routes;
+    let overlap =
+      match routes with
+      | [] | [ _ ] -> 0.0
+      | reference :: rest ->
+          let total =
+            List.fold_left
+              (fun acc r -> acc +. Route.overlap_fraction ~reference r `Hops)
+              0.0 rest
+          in
+          total /. Float.of_int (List.length rest)
+    in
+    (Hashtbl.length exits, overlap)
+  in
+  let sk_exits = ref 0.0 and cr_exits = ref 0.0 in
+  let sk_overlap = ref 0.0 and cr_overlap = ref 0.0 in
+  let rounds = 30 in
+  let domains = Domain_tree.children tree (Domain_tree.root tree) in
+  let done_rounds = ref 0 in
+  while !done_rounds < rounds do
+    let domain = domains.(Rng.int_below rng (Array.length domains)) in
+    let ring = Rings.ring rings domain in
+    if Ring.size ring >= 10 then begin
+      incr done_rounds;
+      let key = Id.random rng in
+      let sources =
+        List.init 30 (fun _ -> Ring.node_at ring (Rng.int_below rng (Ring.size ring)))
+      in
+      let sk_routes = List.map (fun s -> Skipnet.route_by_numeric skipnet ~src:s ~key) sources in
+      let cr_routes =
+        List.map (fun s -> Router.greedy_clockwise crescendo ~src:s ~key) sources
+      in
+      let se, so = exits_and_overlap sk_routes domain in
+      let ce, co = exits_and_overlap cr_routes domain in
+      sk_exits := !sk_exits +. Float.of_int se;
+      cr_exits := !cr_exits +. Float.of_int ce;
+      sk_overlap := !sk_overlap +. so;
+      cr_overlap := !cr_overlap +. co
+    end
+  done;
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "SkipNet vs Crescendo (§6; n = %d)" n)
+      ~columns:[ "metric"; "SkipNet"; "Crescendo" ]
+  in
+  let f = Float.of_int in
+  Table.add_row table
+    [ "mean degree"; Printf.sprintf "%.2f" (Skipnet.mean_degree skipnet);
+      Printf.sprintf "%.2f" (Overlay.mean_degree crescendo) ];
+  Table.add_row table
+    [ "mean hops (node-to-node)"; Printf.sprintf "%.2f" (f !sk_hops /. f trials);
+      Printf.sprintf "%.2f" (f !cr_hops /. f trials) ];
+  Table.add_row table
+    [ "intra-domain path locality"; Printf.sprintf "%.3f" (f !sk_local /. f trials);
+      Printf.sprintf "%.3f" (f !cr_local /. f trials) ];
+  Table.add_row table
+    [ "distinct exits per 30 same-key lookups (hashed content)";
+      Printf.sprintf "%.1f" (!sk_exits /. f rounds); Printf.sprintf "%.1f" (!cr_exits /. f rounds) ];
+  Table.add_row table
+    [ "mean path overlap (hashed content)"; Printf.sprintf "%.3f" (!sk_overlap /. f rounds);
+      Printf.sprintf "%.3f" (!cr_overlap /. f rounds) ];
+  table

@@ -1,0 +1,12 @@
+(** §6 comparison: SkipNet vs Crescendo.
+
+    The paper's claims, quantified: SkipNet's name routing has
+    intra-domain path locality (like Crescendo), but for hashed content
+    it "behaves just like a normal DHT ... and thus provides no, or
+    heuristic, convergence for inter-domain paths". The table measures
+    degree, hops, intra-domain locality rate, and — for same-key
+    lookups issued from one depth-1 domain — the number of distinct
+    domain exit points (Crescendo: always 1, the proxy) and the mean
+    pairwise path-overlap fraction. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,43 @@
+open Canon_core
+open Canon_overlay
+module Rng = Canon_rng.Rng
+module Table = Canon_stats.Table
+
+let log2f x = log x /. log 2.0
+
+let run ~scale ~seed =
+  let samples = match scale with `Paper -> 5000 | `Quick -> 1500 in
+  let table =
+    Table.create ~title:"Theorems 1/2/4/5: measured vs proved bounds"
+      ~columns:
+        [
+          "System"; "n"; "levels"; "deg meas"; "deg bound"; "hops meas"; "hops bound";
+        ]
+  in
+  let check ~n ~levels =
+    let pop = Common.hierarchy_population ~seed:(seed + levels) ~levels ~n in
+    let overlay = Crescendo.build (Rings.build pop) in
+    let deg = Overlay.mean_degree overlay in
+    let hops = Common.mean_hops (Rng.create (seed + levels)) overlay ~samples in
+    let nf = Float.of_int n in
+    let deg_bound, hops_bound =
+      if levels = 1 then (log2f (nf -. 1.0) +. 1.0, (0.5 *. log2f (nf -. 1.0)) +. 0.5)
+      else
+        ( log2f (nf -. 1.0) +. Float.min (Float.of_int levels) (log2f nf),
+          log2f (nf -. 1.0) +. 1.0 )
+    in
+    let label = if levels = 1 then "Chord (Thm 1/4)" else "Crescendo (Thm 2/5)" in
+    Table.add_row table
+      [
+        label;
+        string_of_int n;
+        string_of_int levels;
+        Printf.sprintf "%.3f" deg;
+        Printf.sprintf "%.3f" deg_bound;
+        Printf.sprintf "%.3f" hops;
+        Printf.sprintf "%.3f" hops_bound;
+      ]
+  in
+  let ns = match scale with `Paper -> [ 4096; 16384; 65536 ] | `Quick -> [ 1024; 4096 ] in
+  List.iter (fun n -> List.iter (fun levels -> check ~n ~levels) [ 1; 3; 5 ]) ns;
+  table

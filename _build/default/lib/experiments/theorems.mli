@@ -1,0 +1,5 @@
+(** Empirical check of the paper's Theorems 1, 2, 4 and 5: measured
+    mean degree and mean hop count against the proved upper bounds, for
+    flat Chord and for Crescendo across hierarchy depths. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

@@ -1,0 +1,8 @@
+(** Variant parity (§3): degree and routing hops of every flat/Canonical
+    pair — Chord/Crescendo, Symphony/Cacophony, nondeterministic
+    Chord/ND-Crescendo, Kademlia/Kandy, CAN/Can-Can — on one network.
+
+    Expected shape: within each pair, the Canonical version matches its
+    flat original in both state and hops. *)
+
+val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t

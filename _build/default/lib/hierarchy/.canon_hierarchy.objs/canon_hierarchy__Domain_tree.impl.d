@@ -1,0 +1,1 @@
+lib/hierarchy/domain_tree.ml: Array Format Fun List

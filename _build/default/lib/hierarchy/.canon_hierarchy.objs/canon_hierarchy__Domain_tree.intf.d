@@ -1,0 +1,1 @@
+lib/hierarchy/domain_tree.mli: Format

@@ -1,0 +1,1 @@
+lib/hierarchy/hname.ml: Array Domain_tree Hashtbl List Printf String

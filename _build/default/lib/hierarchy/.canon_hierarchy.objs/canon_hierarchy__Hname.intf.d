@@ -1,0 +1,1 @@
+lib/hierarchy/hname.mli: Domain_tree

@@ -1,0 +1,1 @@
+lib/hierarchy/placement.ml: Array Canon_rng Canon_stats Domain_tree Fun

@@ -1,0 +1,1 @@
+lib/hierarchy/placement.mli: Canon_rng Domain_tree

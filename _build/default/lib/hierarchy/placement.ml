@@ -1,0 +1,57 @@
+type policy =
+  | Uniform
+  | Zipfian of float
+
+let assign rng tree policy ~n =
+  if n < 0 then invalid_arg "Placement.assign: negative n";
+  let leaves = Domain_tree.leaves tree in
+  match policy with
+  | Uniform ->
+      Array.init n (fun _ -> leaves.(Canon_rng.Rng.int_below rng (Array.length leaves)))
+  | Zipfian alpha ->
+      (* Top-down apportionment: each internal domain splits its count
+         over children by Zipf weights; a leaf keeps its count. The
+         branch ranked k-th largest gets weight 1/(k+1)^alpha; we use a
+         random permutation of children as the ranking so that "largest
+         branch" is not always the leftmost child. *)
+      let counts = Array.make (Domain_tree.num_domains tree) 0 in
+      counts.(Domain_tree.root tree) <- n;
+      let rec distribute d =
+        let kids = Domain_tree.children tree d in
+        let b = Array.length kids in
+        if b > 0 then begin
+          let split = Canon_stats.Zipf.split_counts ~total:counts.(d) ~branches:b ~alpha in
+          let order = Array.init b Fun.id in
+          Canon_rng.Rng.shuffle_in_place rng order;
+          Array.iteri (fun rank pos -> counts.(kids.(pos)) <- split.(rank)) order;
+          Array.iter distribute kids
+        end
+      in
+      distribute (Domain_tree.root tree);
+      (* Expand leaf counts into per-node assignments, then shuffle so
+         node indices are uncorrelated with position in the hierarchy. *)
+      let out = Array.make n (-1) in
+      let cursor = ref 0 in
+      Array.iter
+        (fun leaf ->
+          for _ = 1 to counts.(leaf) do
+            out.(!cursor) <- leaf;
+            incr cursor
+          done)
+        leaves;
+      assert (!cursor = n);
+      Canon_rng.Rng.shuffle_in_place rng out;
+      out
+
+let leaf_population tree leaf_of_node =
+  let counts = Array.make (Domain_tree.num_domains tree) 0 in
+  Array.iter
+    (fun leaf ->
+      (* Credit every ancestor, so internal domains hold subtree sums. *)
+      let rec credit d =
+        counts.(d) <- counts.(d) + 1;
+        if d <> Domain_tree.root tree then credit (Domain_tree.parent tree d)
+      in
+      credit leaf)
+    leaf_of_node;
+  counts

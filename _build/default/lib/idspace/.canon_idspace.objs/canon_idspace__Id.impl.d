@@ -1,0 +1,1 @@
+lib/idspace/id.ml: Canon_rng Format Int

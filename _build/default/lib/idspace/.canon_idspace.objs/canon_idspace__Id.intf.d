@@ -1,0 +1,1 @@
+lib/idspace/id.mli: Canon_rng Format

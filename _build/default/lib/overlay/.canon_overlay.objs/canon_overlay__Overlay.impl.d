@@ -1,0 +1,1 @@
+lib/overlay/overlay.ml: Array Float Hashtbl Int Population

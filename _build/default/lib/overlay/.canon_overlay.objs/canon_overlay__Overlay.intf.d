@@ -1,0 +1,1 @@
+lib/overlay/overlay.mli: Canon_idspace Population

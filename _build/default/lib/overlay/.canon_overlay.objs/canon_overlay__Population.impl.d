@@ -1,0 +1,1 @@
+lib/overlay/population.ml: Array Canon_hierarchy Canon_idspace Domain_tree Hashtbl Id Placement

@@ -1,0 +1,1 @@
+lib/overlay/population.mli: Canon_hierarchy Canon_idspace Canon_rng Domain_tree Id Placement

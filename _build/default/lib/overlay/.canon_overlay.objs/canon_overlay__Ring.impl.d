@@ -1,0 +1,1 @@
+lib/overlay/ring.ml: Array Canon_idspace Id

@@ -1,0 +1,1 @@
+lib/overlay/ring.mli: Canon_idspace Id

@@ -1,0 +1,1 @@
+lib/overlay/rings.ml: Array Canon_hierarchy Domain_tree Population Ring

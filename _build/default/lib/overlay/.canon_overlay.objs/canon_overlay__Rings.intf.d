@@ -1,0 +1,1 @@
+lib/overlay/rings.mli: Canon_idspace Population Ring

@@ -1,0 +1,1 @@
+lib/overlay/route.ml: Array Float Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/overlay/route.mli: Format

@@ -1,0 +1,33 @@
+(** A constructed overlay network: a population plus the outgoing links
+    each construction decided on.
+
+    Links are directed (the paper counts out-degree only). The adjacency
+    is immutable once built; constructions hand it over through
+    {!create}. *)
+
+type t
+
+val create : Population.t -> links:int array array -> t
+(** [create pop ~links] with [links.(node)] the array of link targets of
+    [node]. Self-links and duplicate targets are rejected. *)
+
+val population : t -> Population.t
+
+val size : t -> int
+
+val id : t -> int -> Canon_idspace.Id.t
+
+val links : t -> int -> int array
+(** Outgoing links of a node (not copied — callers must not mutate). *)
+
+val degree : t -> int -> int
+
+val degrees : t -> int array
+(** Out-degree of every node. *)
+
+val mean_degree : t -> float
+
+val has_link : t -> int -> int -> bool
+
+val iter_links : t -> (int -> int -> unit) -> unit
+(** [iter_links t f] calls [f src dst] for every directed link. *)

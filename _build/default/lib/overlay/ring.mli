@@ -1,0 +1,78 @@
+(** A ring of nodes sorted by identifier.
+
+    Every DHT construction in this repository reduces to queries on
+    sorted rings: "the closest node at least distance d away from m",
+    "the successor of id q", "the node responsible for key k". A ring is
+    an immutable sorted array of (identifier, node index) pairs with
+    O(log n) wrapping binary searches. *)
+
+open Canon_idspace
+
+type t
+
+val of_members : ids:Id.t array -> members:int array -> t
+(** [of_members ~ids ~members] builds the ring of the node indices in
+    [members], where [ids.(node)] is each node's identifier. Identifiers
+    of members must be pairwise distinct. *)
+
+val size : t -> int
+
+val members : t -> int array
+(** Members in increasing identifier order. *)
+
+val id_at : t -> int -> Id.t
+(** Identifier at a rank in [0, size). *)
+
+val node_at : t -> int -> int
+(** Node index at a rank in [0, size). *)
+
+val contains : t -> Id.t -> bool
+(** Is some member's identifier exactly this id? *)
+
+val first_at_or_after : t -> Id.t -> int
+(** [first_at_or_after t q] is the node whose identifier is reached
+    first when walking clockwise from [q] (including [q] itself).
+    Requires a non-empty ring. *)
+
+val successor_of_id : t -> Id.t -> int
+(** [successor_of_id t q] is the first node strictly clockwise of [q]
+    (excluding a node whose id equals [q]). Requires a non-empty ring. *)
+
+val predecessor_of_id : t -> Id.t -> int
+(** [predecessor_of_id t q] is the node managing key [q] under the
+    paper's improved rule: the node with the largest identifier less
+    than or equal to [q], wrapping. Requires a non-empty ring. *)
+
+val successor_distance : t -> Id.t -> int
+(** [successor_distance t id] is the clockwise distance from [id]
+    (assumed to be a member's identifier) to the nearest *other*
+    member; [Id.space] when the ring has a single member. *)
+
+val finger : t -> Id.t -> int -> int option
+(** [finger t id d] is the Chord link rule: the closest node at least
+    clockwise distance [d >= 1] away from the member with identifier
+    [id], or [None] if no other node qualifies (i.e. the walk wraps all
+    the way back to [id] itself). *)
+
+val arc_count : t -> start:Id.t -> len:int -> int
+(** Number of members in the clockwise arc [\[start, start+len)], i.e.
+    members [x] with [distance start x < len]. Requires
+    [0 <= len <= Id.space]. *)
+
+val arc_nth : t -> start:Id.t -> len:int -> int -> int
+(** [arc_nth t ~start ~len i] is the node at clockwise position [i]
+    (0-based) within that arc; requires [i < arc_count t ~start ~len]. *)
+
+val rank_at_or_after : t -> Id.t -> int
+(** Rank (in sorted order, not wrapping) of the first member with
+    identifier [>= q]; [size t] when none. Exposed for the XOR-bucket
+    bit-descent searches. *)
+
+val insert : t -> id:Id.t -> node:int -> unit
+(** Adds a member (O(size) array shift). Rejects duplicate identifiers.
+    Used by the dynamic-maintenance simulator; static constructions
+    never mutate rings they were built from. *)
+
+val remove : t -> id:Id.t -> unit
+(** Removes the member with this identifier; raises [Invalid_argument]
+    if absent. *)

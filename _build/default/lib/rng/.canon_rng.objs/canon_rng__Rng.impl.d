@@ -1,0 +1,1 @@
+lib/rng/rng.ml: Array Float Hashtbl Int64 Splitmix64

@@ -1,0 +1,1 @@
+lib/rng/splitmix64.ml: Int64

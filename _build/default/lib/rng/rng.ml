@@ -1,0 +1,76 @@
+type t = Splitmix64.t
+
+let create seed = Splitmix64.create (Int64.of_int seed)
+
+let split = Splitmix64.split
+
+let copy = Splitmix64.copy
+
+let bits64 = Splitmix64.next
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let nonneg_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  (* Rejection sampling over the largest multiple of [n] that fits in
+     [0, max_int], ensuring exact uniformity. (2^62 itself overflows a
+     63-bit OCaml int, so the limit is anchored at max_int.) *)
+  let limit = max_int - (max_int mod n) in
+  let rec draw () =
+    let v = nonneg_int t in
+    if v < limit then v mod n else draw ()
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: lo > hi";
+  lo + int_below t (hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  Float.of_int v *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int_below t (Array.length a))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if 3 * k >= n then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let a = Array.init n (fun i -> i) in
+    shuffle_in_place t a;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Sparse case: draw with rejection into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int_below t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = float t in
+  -.mean *. log1p (-.u)

@@ -1,0 +1,1 @@
+lib/sim/churn.ml: Array Canon_core Canon_overlay Canon_rng Event_queue Float Fun Maintenance Population Router

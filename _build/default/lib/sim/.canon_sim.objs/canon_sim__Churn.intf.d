@@ -1,0 +1,1 @@
+lib/sim/churn.mli: Canon_overlay Canon_rng

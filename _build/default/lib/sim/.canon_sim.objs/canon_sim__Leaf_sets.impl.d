@@ -1,0 +1,1 @@
+lib/sim/leaf_sets.ml: Array Canon_overlay Int Population Ring Rings

@@ -1,0 +1,1 @@
+lib/sim/leaf_sets.mli: Canon_overlay Rings

@@ -1,0 +1,1 @@
+lib/sim/maintenance.ml: Array Canon_core Canon_idspace Canon_overlay Crescendo Hashtbl Id Int Overlay Population Ring Rings Route Router

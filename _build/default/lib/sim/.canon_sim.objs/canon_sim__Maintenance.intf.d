@@ -1,0 +1,1 @@
+lib/sim/maintenance.mli: Canon_overlay Overlay Population Rings

@@ -1,0 +1,113 @@
+open Canon_overlay
+open Canon_core
+module Rng = Canon_rng.Rng
+
+type config = {
+  initial_nodes : int;
+  events : int;
+  join_fraction : float;
+  probes_per_event : int;
+  mean_interarrival : float;
+}
+
+type report = {
+  joins : int;
+  leaves : int;
+  probes : int;
+  failed_probes : int;
+  join_message_mean : float;
+  leave_message_mean : float;
+  final_population : int;
+  sim_time : float;
+}
+
+let default_config =
+  {
+    initial_nodes = 256;
+    events = 200;
+    join_fraction = 0.5;
+    probes_per_event = 4;
+    mean_interarrival = 1.0;
+  }
+
+type event =
+  | Arrival
+  | Departure
+
+let run rng pop config =
+  let n = Population.size pop in
+  if config.initial_nodes > n then invalid_arg "Churn.run: initial_nodes exceeds population";
+  let order = Array.init n Fun.id in
+  Rng.shuffle_in_place rng order;
+  let initial = Array.sub order 0 config.initial_nodes in
+  let m = Maintenance.create pop ~present:initial in
+  (* Waiting room of nodes that may still join, in shuffled order. *)
+  let waiting = ref (Array.to_list (Array.sub order config.initial_nodes (n - config.initial_nodes))) in
+  let queue = Event_queue.create () in
+  let clock = ref 0.0 in
+  let schedule_next time =
+    let dt = Rng.exponential rng ~mean:config.mean_interarrival in
+    let kind = if Rng.float rng < config.join_fraction then Arrival else Departure in
+    Event_queue.push queue ~time:(time +. dt) kind
+  in
+  for _ = 1 to config.events do
+    schedule_next !clock
+  done;
+  let joins = ref 0 and leaves = ref 0 in
+  let probes = ref 0 and failed = ref 0 in
+  let join_msgs = ref 0 and leave_msgs = ref 0 in
+  let probe () =
+    let live = Maintenance.present m in
+    if Array.length live >= 2 then begin
+      incr probes;
+      let src = Rng.pick rng live and dst = Rng.pick rng live in
+      let route =
+        Router.greedy_clockwise_generic ~n
+          ~id:(fun v -> pop.Population.ids.(v))
+          ~links:(fun v -> if Maintenance.is_present m v then Maintenance.links m v else [||])
+          ~src
+          ~key:pop.Population.ids.(dst)
+      in
+      if Canon_overlay.Route.destination route <> dst then incr failed
+    end
+  in
+  let rec drain () =
+    match Event_queue.pop queue with
+    | None -> ()
+    | Some (time, kind) ->
+        clock := time;
+        (match kind with
+        | Arrival -> (
+            match !waiting with
+            | [] -> ()
+            | node :: rest ->
+                waiting := rest;
+                let stats = Maintenance.join m node in
+                join_msgs := !join_msgs + Maintenance.total stats;
+                incr joins)
+        | Departure ->
+            let live = Maintenance.present m in
+            (* Keep a quorum so probes stay meaningful. *)
+            if Array.length live > max 8 (config.initial_nodes / 4) then begin
+              let node = Rng.pick rng live in
+              let stats = Maintenance.leave m node in
+              leave_msgs := !leave_msgs + Maintenance.total stats;
+              incr leaves
+            end);
+        for _ = 1 to config.probes_per_event do
+          probe ()
+        done;
+        drain ()
+  in
+  drain ();
+  {
+    joins = !joins;
+    leaves = !leaves;
+    probes = !probes;
+    failed_probes = !failed;
+    join_message_mean = (if !joins = 0 then 0.0 else Float.of_int !join_msgs /. Float.of_int !joins);
+    leave_message_mean =
+      (if !leaves = 0 then 0.0 else Float.of_int !leave_msgs /. Float.of_int !leaves);
+    final_population = Array.length (Maintenance.present m);
+    sim_time = !clock;
+  }

@@ -1,0 +1,33 @@
+(** Churn driver: a Poisson stream of joins, leaves and probe lookups
+    against the maintained Crescendo overlay.
+
+    Every probe routes between two live nodes over the {e maintained}
+    link state and checks it arrives exactly; every join/leave reports
+    its message cost. This exercises the §2.3 protocol end to end and
+    backs the maintenance benchmark. *)
+
+type config = {
+  initial_nodes : int;  (** nodes joined before the clock starts *)
+  events : int;  (** total join/leave events to run *)
+  join_fraction : float;  (** probability an event is a join *)
+  probes_per_event : int;  (** routing probes after each event *)
+  mean_interarrival : float;  (** seconds between events (Poisson) *)
+}
+
+type report = {
+  joins : int;
+  leaves : int;
+  probes : int;
+  failed_probes : int;
+  join_message_mean : float;
+  leave_message_mean : float;
+  final_population : int;
+  sim_time : float;
+}
+
+val default_config : config
+
+val run : Canon_rng.Rng.t -> Canon_overlay.Population.t -> config -> report
+(** The population provides the universe of potential nodes (ids and
+    hierarchy positions); churn picks which are live. Requires
+    [initial_nodes <= Population.size] and enough headroom for joins. *)

@@ -1,0 +1,1 @@
+lib/stats/zipf.ml: Array Canon_rng Float

@@ -1,0 +1,1 @@
+lib/stats/zipf.mli: Canon_rng

@@ -1,0 +1,26 @@
+(** Integer-valued histograms, used for the degree-distribution figure
+    (paper Fig. 4) and for sanity plots in examples. *)
+
+type t
+
+val create : unit -> t
+(** An empty histogram over non-negative integer values. *)
+
+val add : t -> int -> unit
+(** [add t v] counts one observation of value [v >= 0]. *)
+
+val count : t -> int -> int
+(** Observations of exactly [v]. *)
+
+val total : t -> int
+(** Total number of observations. *)
+
+val max_value : t -> int
+(** Largest value observed; 0 if empty. *)
+
+val pdf : t -> (int * float) list
+(** [(value, fraction)] pairs for every value with non-zero count, in
+    increasing value order. Fractions sum to 1 (when non-empty). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the PDF as an ASCII bar chart. *)

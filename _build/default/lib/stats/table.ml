@@ -1,0 +1,51 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match columns";
+  t.rows <- cells :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
+
+let columns t = t.columns
+
+let rows t = List.rev t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad i cell =
+    let w = widths.(i) in
+    let missing = w - String.length cell in
+    if i = 0 then cell ^ String.make missing ' ' else String.make missing ' ' ^ cell
+  in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  let rule = List.init ncols (fun i -> String.make widths.(i) '-') in
+  emit rule;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,51 @@
+let weights ~n ~alpha =
+  if n <= 0 then invalid_arg "Zipf.weights: n must be positive";
+  let raw = Array.init n (fun k -> 1.0 /. Float.of_int (k + 1) ** alpha) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun w -> w /. total) raw
+
+type sampler = { cdf : float array }
+
+let sampler ~n ~alpha =
+  let w = weights ~n ~alpha in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i wi ->
+      acc := !acc +. wi;
+      cdf.(i) <- !acc)
+    w;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let draw { cdf } rng =
+  let u = Canon_rng.Rng.float rng in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let split_counts ~total ~branches ~alpha =
+  if total < 0 then invalid_arg "Zipf.split_counts: negative total";
+  let w = weights ~n:branches ~alpha in
+  let exact = Array.map (fun wi -> wi *. Float.of_int total) w in
+  let counts = Array.map (fun x -> int_of_float (Float.floor x)) exact in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  let remainder = total - assigned in
+  (* Largest-remainder rounding: give the leftover units to the branches
+     with the biggest fractional parts. *)
+  let order = Array.init branches (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      Float.compare
+        (exact.(b) -. Float.of_int counts.(b))
+        (exact.(a) -. Float.of_int counts.(a)))
+    order;
+  for i = 0 to remainder - 1 do
+    let b = order.(i mod branches) in
+    counts.(b) <- counts.(b) + 1
+  done;
+  counts

@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Array Canon_core Canon_hierarchy Canon_idspace Canon_overlay Domain_tree Hashtbl Id Population Ring Rings Route Router Store

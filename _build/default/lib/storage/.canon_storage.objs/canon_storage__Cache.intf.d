@@ -1,0 +1,1 @@
+lib/storage/cache.mli: Canon_idspace Canon_overlay Id Overlay Rings Route Store

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Canon_core Canon_hierarchy Canon_idspace Canon_overlay Domain_tree Hashtbl Id List Option Population Rings Route Router

@@ -1,0 +1,1 @@
+lib/storage/store.mli: Canon_idspace Canon_overlay Id Overlay Rings Route

@@ -1,0 +1,1 @@
+lib/topology/latency.ml: Array Canon_rng Float Graph Transit_stub

@@ -1,0 +1,1 @@
+lib/topology/latency.mli: Canon_rng Transit_stub

@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Canon_hierarchy Canon_rng Float Fun Graph List

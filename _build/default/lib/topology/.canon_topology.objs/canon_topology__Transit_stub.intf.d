@@ -1,0 +1,1 @@
+lib/topology/transit_stub.mli: Canon_hierarchy Canon_rng Graph

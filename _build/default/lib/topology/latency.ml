@@ -1,0 +1,27 @@
+type t = {
+  topology : Transit_stub.t;
+  dist : float array array; (* all-pairs among routers *)
+  access : float;
+}
+
+let create ts =
+  let g = Transit_stub.graph ts in
+  let n = Graph.num_vertices g in
+  let dist = Array.init n (fun src -> Graph.dijkstra g src) in
+  { topology = ts; dist; access = (Transit_stub.params ts).Transit_stub.access_ms }
+
+let topology t = t.topology
+
+let router_latency t a b = t.dist.(a).(b)
+
+let node_latency t a b = t.access +. t.dist.(a).(b) +. t.access
+
+let mean_node_latency t rng ~samples =
+  if samples <= 0 then invalid_arg "Latency.mean_node_latency: samples must be positive";
+  let stubs = Transit_stub.stub_routers t.topology in
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let a = Canon_rng.Rng.pick rng stubs and b = Canon_rng.Rng.pick rng stubs in
+    total := !total +. node_latency t a b
+  done;
+  !total /. Float.of_int samples

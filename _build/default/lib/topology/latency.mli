@@ -1,0 +1,29 @@
+(** Latency oracle over a transit-stub topology.
+
+    Precomputes all-pairs shortest paths among routers so that overlay
+    experiments can query end-to-end latencies in O(1). Overlay nodes
+    attach to stub routers over an access link ([access_ms], 1 ms in the
+    paper), so the latency between two overlay nodes attached to routers
+    [r1] and [r2] is [access + spt(r1, r2) + access] — 2 ms when both
+    hang off the same stub router, matching the paper's observation. *)
+
+type t
+
+val create : Transit_stub.t -> t
+(** Runs one Dijkstra per router. For the default 2040-router topology
+    this takes on the order of a second and ~32 MB. *)
+
+val topology : t -> Transit_stub.t
+
+val router_latency : t -> int -> int -> float
+(** Shortest-path latency between two routers, in ms. *)
+
+val node_latency : t -> int -> int -> float
+(** [node_latency t r1 r2] is the overlay-node-to-overlay-node latency
+    between nodes attached to stub routers [r1] and [r2], including both
+    access links. [r1 = r2] gives twice the access latency. *)
+
+val mean_node_latency : t -> Canon_rng.Rng.t -> samples:int -> float
+(** Monte-Carlo estimate of the mean direct latency between two overlay
+    nodes attached to uniformly random stub routers — the denominator of
+    the paper's "stretch" metric. *)

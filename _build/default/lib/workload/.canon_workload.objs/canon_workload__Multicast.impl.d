@@ -1,0 +1,1 @@
+lib/workload/multicast.ml: Array Canon_overlay Hashtbl List Route

@@ -1,0 +1,1 @@
+lib/workload/multicast.mli: Canon_overlay Route

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Canon_idspace Canon_overlay Canon_rng Canon_stats Hashtbl Id List Population

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Canon_idspace Canon_overlay Canon_rng Canon_stats Id

@@ -1,0 +1,27 @@
+open Canon_overlay
+
+type t = {
+  edges : (int * int, unit) Hashtbl.t;
+  nodes : (int, unit) Hashtbl.t;
+}
+
+let of_routes routes =
+  let edges = Hashtbl.create 1024 and nodes = Hashtbl.create 1024 in
+  List.iter
+    (fun route ->
+      Array.iter (fun n -> Hashtbl.replace nodes n ()) route.Route.nodes;
+      Array.iter (fun e -> Hashtbl.replace edges e ()) (Route.edges route))
+    routes;
+  { edges; nodes }
+
+let num_edges t = Hashtbl.length t.edges
+
+let num_nodes t = Hashtbl.length t.nodes
+
+let inter_domain_edges t ~domain_of_node =
+  Hashtbl.fold
+    (fun (u, v) () acc -> if domain_of_node u <> domain_of_node v then acc + 1 else acc)
+    t.edges 0
+
+let total_latency t ~node_latency =
+  Hashtbl.fold (fun (u, v) () acc -> acc +. node_latency u v) t.edges 0.0

@@ -1,0 +1,28 @@
+(** Multicast trees from path convergence (paper §5.4, Fig. 9).
+
+    Routing queries from many sources to one destination and taking the
+    union of the paths yields a tree rooted (as a multicast source) at
+    the destination; data flows along the reversed query paths. The
+    figure-of-merit is the number of {e inter-domain} edges in this
+    tree, since inter-domain links are the expensive, bandwidth-limited
+    ones. *)
+
+open Canon_overlay
+
+type t
+
+val of_routes : Route.t list -> t
+(** Union of the directed edges of the given paths (deduplicated). *)
+
+val num_edges : t -> int
+
+val num_nodes : t -> int
+(** Nodes touched by at least one path. *)
+
+val inter_domain_edges : t -> domain_of_node:(int -> int) -> int
+(** Edges whose endpoints fall in different domains under the given
+    assignment. *)
+
+val total_latency : t -> node_latency:(int -> int -> float) -> float
+(** Sum of edge latencies — the bandwidth-time cost of one multicast
+    transmission over the tree. *)

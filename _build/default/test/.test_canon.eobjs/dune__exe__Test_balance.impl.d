@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Array Balance Canon_balance Canon_hierarchy Canon_idspace Canon_overlay Canon_rng Domain_tree Float Hashtbl Id List Placement Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Canon_hierarchy Canon_rng Domain_tree Hname Int Placement QCheck QCheck_alcotest

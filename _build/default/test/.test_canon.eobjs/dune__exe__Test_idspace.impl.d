@@ -1,0 +1,1 @@
+test/test_idspace.ml: Alcotest Canon_idspace Canon_rng Id QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Canon_rng Float Fun Hashtbl Int Rng

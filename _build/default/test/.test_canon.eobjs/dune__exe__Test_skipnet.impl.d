@@ -1,0 +1,1 @@
+test/test_skipnet.ml: Alcotest Array Canon_core Canon_hierarchy Canon_idspace Canon_overlay Canon_rng Domain_tree Float Id Lazy Placement Population Route Skipnet

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Canon_rng Canon_stats Float Gen Histogram List QCheck QCheck_alcotest Stats String Table Zipf

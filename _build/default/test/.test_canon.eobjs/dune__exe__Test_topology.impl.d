@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Canon_hierarchy Canon_rng Canon_topology Float Graph Latency Lazy QCheck QCheck_alcotest Transit_stub

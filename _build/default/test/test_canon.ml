@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "canon"
+    (List.concat
+       [
+         Test_rng.suites;
+         Test_idspace.suites;
+         Test_stats.suites;
+         Test_hierarchy.suites;
+         Test_topology.suites;
+         Test_core.suites;
+         Test_storage.suites;
+         Test_balance.suites;
+         Test_sim.suites;
+         Test_workload.suites;
+         Test_extensions.suites;
+         Test_skipnet.suites;
+         Test_random_hierarchies.suites;
+         Test_experiments.suites;
+       ])

@@ -1,0 +1,864 @@
+(* Tests for the DHT constructions and routing engines: these check the
+   paper's structural claims directly — Chord equivalence, Canon merge
+   conditions, intra-domain path locality, inter-domain path
+   convergence, and the degree/hop bounds of Theorems 1-5. *)
+
+open Canon_idspace
+open Canon_hierarchy
+open Canon_overlay
+open Canon_core
+module Rng = Canon_rng.Rng
+
+let make_pop ?(seed = 1) ?(policy = Placement.Zipfian 1.25) ~fanout ~levels ~n () =
+  let rng = Rng.create seed in
+  let tree = Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout ~levels) in
+  Population.create rng ~tree ~policy ~n
+
+let log2f x = log x /. log 2.0
+
+(* --- Ring --------------------------------------------------------- *)
+
+let mini_ring () =
+  (* ids: node 0 -> 10, node 1 -> 20, node 2 -> 30, node 3 -> 4000000000 *)
+  let ids = [| 10; 20; 30; 4000000000 |] in
+  (Ring.of_members ~ids ~members:[| 0; 1; 2; 3 |], ids)
+
+let test_ring_searches () =
+  let ring, _ids = mini_ring () in
+  Alcotest.(check int) "size" 4 (Ring.size ring);
+  Alcotest.(check int) "first at-or-after exact" 1 (Ring.first_at_or_after ring 20);
+  Alcotest.(check int) "first at-or-after between" 2 (Ring.first_at_or_after ring 21);
+  Alcotest.(check int) "first at-or-after wraps" 0 (Ring.first_at_or_after ring 4000000001);
+  Alcotest.(check int) "successor skips self" 2 (Ring.successor_of_id ring 20);
+  Alcotest.(check int) "predecessor exact" 1 (Ring.predecessor_of_id ring 20);
+  Alcotest.(check int) "predecessor between" 1 (Ring.predecessor_of_id ring 29);
+  Alcotest.(check int) "predecessor wraps" 3 (Ring.predecessor_of_id ring 5);
+  Alcotest.(check bool) "contains" true (Ring.contains ring 30);
+  Alcotest.(check bool) "not contains" false (Ring.contains ring 31)
+
+let test_ring_successor_distance () =
+  let ring, _ = mini_ring () in
+  Alcotest.(check int) "simple" 10 (Ring.successor_distance ring 10);
+  Alcotest.(check int) "wrapping" (Id.space - 4000000000 + 10) (Ring.successor_distance ring 4000000000);
+  let single = Ring.of_members ~ids:[| 42 |] ~members:[| 0 |] in
+  Alcotest.(check int) "singleton" Id.space (Ring.successor_distance single 42)
+
+let test_ring_finger () =
+  let ring, _ = mini_ring () in
+  (* from id 10: closest node at least 16 away is node 2 (id 30, d 20) *)
+  Alcotest.(check (option int)) "finger 16" (Some 2) (Ring.finger ring 10 16);
+  Alcotest.(check (option int)) "finger 1" (Some 1) (Ring.finger ring 10 1);
+  (* from a singleton ring the walk wraps to self *)
+  let single = Ring.of_members ~ids:[| 42 |] ~members:[| 0 |] in
+  Alcotest.(check (option int)) "singleton none" None (Ring.finger single 42 1)
+
+let test_ring_arcs () =
+  let ring, _ = mini_ring () in
+  Alcotest.(check int) "arc simple" 2 (Ring.arc_count ring ~start:10 ~len:15);
+  Alcotest.(check int) "arc all" 4 (Ring.arc_count ring ~start:0 ~len:Id.space);
+  Alcotest.(check int) "arc empty" 0 (Ring.arc_count ring ~start:31 ~len:100);
+  (* wrapping arc from near the top: [4000000001, 2^32) U [0, ~5000000) *)
+  Alcotest.(check int) "arc wrap" 3 (Ring.arc_count ring ~start:4000000001 ~len:300_000_000);
+  Alcotest.(check int) "arc nth" 1 (Ring.arc_nth ring ~start:10 ~len:15 1);
+  Alcotest.(check int) "arc nth wrap" 1 (Ring.arc_nth ring ~start:4000000001 ~len:300_000_000 1)
+
+let test_ring_duplicate_ids () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Ring.of_members ~ids:[| 5; 5 |] ~members:[| 0; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_ring_predecessor_successor =
+  QCheck.Test.make ~count:300 ~name:"ring: predecessor/successor bracket every key"
+    QCheck.(pair small_int (int_bound 1_000_000))
+    (fun (seed, key0) ->
+      let rng = Rng.create (seed + 1) in
+      let n = 2 + Rng.int_below rng 60 in
+      let ids = Population.unique_ids rng n in
+      let ring = Ring.of_members ~ids ~members:(Array.init n Fun.id) in
+      let key = (key0 * 4001) land (Id.space - 1) in
+      let pred = Ring.predecessor_of_id ring key in
+      let next = Ring.first_at_or_after ring (Id.add key 1) in
+      (* The predecessor manages [key]: no member lies strictly between
+         pred and key. *)
+      Array.for_all
+        (fun node ->
+          node = pred
+          || not
+               (Id.in_clockwise_interval ids.(node) ~lo:ids.(pred) ~hi:key
+               && ids.(node) <> ids.(pred)))
+        (Array.init n Fun.id)
+      && Id.distance ids.(pred) key < Id.space
+      && ids.(next) = ids.(next))
+
+(* --- Chord -------------------------------------------------------- *)
+
+let chord_fixture =
+  lazy
+    (let pop = make_pop ~fanout:10 ~levels:1 ~n:1024 () in
+     (pop, Chord.build pop))
+
+let test_chord_successor_links () =
+  let pop, ov = Lazy.force chord_fixture in
+  let n = Population.size pop in
+  let ring = Ring.of_members ~ids:pop.Population.ids ~members:(Array.init n Fun.id) in
+  for node = 0 to n - 1 do
+    let succ = Ring.successor_of_id ring pop.Population.ids.(node) in
+    if not (Overlay.has_link ov node succ) then
+      Alcotest.failf "node %d lacks successor link" node
+  done
+
+let test_chord_routing_reaches () =
+  let _pop, ov = Lazy.force chord_fixture in
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    let src = Rng.int_below rng (Overlay.size ov) in
+    let dst = Rng.int_below rng (Overlay.size ov) in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches dst" dst (Route.destination route);
+    Alcotest.(check int) "starts at src" src (Route.source route)
+  done
+
+let test_chord_key_routing_hits_predecessor () =
+  let pop, ov = Lazy.force chord_fixture in
+  let n = Population.size pop in
+  let ring = Ring.of_members ~ids:pop.Population.ids ~members:(Array.init n Fun.id) in
+  let rng = Rng.create 11 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng n in
+    let key = Id.random rng in
+    let route = Router.greedy_clockwise ov ~src ~key in
+    Alcotest.(check int) "ends at key predecessor" (Ring.predecessor_of_id ring key)
+      (Route.destination route)
+  done
+
+let test_chord_degree_bound () =
+  let pop, ov = Lazy.force chord_fixture in
+  let n = Population.size pop in
+  (* Theorem 1: E[degree] <= log2(n-1) + 1. The empirical mean over 1024
+     nodes concentrates tightly; allow a small sampling margin. *)
+  let bound = log2f (Float.of_int (n - 1)) +. 1.0 in
+  let mean = Overlay.mean_degree ov in
+  if mean > bound +. 0.25 then Alcotest.failf "mean degree %.3f exceeds bound %.3f" mean bound;
+  if mean < 0.6 *. bound then Alcotest.failf "mean degree %.3f suspiciously low" mean
+
+let test_chord_hops_bound () =
+  let _pop, ov = Lazy.force chord_fixture in
+  let n = Overlay.size ov in
+  let rng = Rng.create 13 in
+  let samples = 2000 in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    total := !total + Route.hops (Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst))
+  done;
+  let mean = Float.of_int !total /. Float.of_int samples in
+  (* Theorem 4: E[hops] <= 0.5 log2(n-1) + 0.5  (~5.5 at n=1024). *)
+  let bound = (0.5 *. log2f (Float.of_int (n - 1))) +. 0.5 in
+  if mean > bound +. 0.3 then Alcotest.failf "mean hops %.3f exceeds bound %.3f" mean bound;
+  if mean < 2.0 then Alcotest.failf "mean hops %.3f suspiciously low" mean
+
+let test_chord_deterministic () =
+  let pop = make_pop ~seed:5 ~fanout:10 ~levels:1 ~n:256 () in
+  let a = Chord.build pop and b = Chord.build pop in
+  for node = 0 to Population.size pop - 1 do
+    let sort l = let l = Array.copy l in Array.sort Int.compare l; l in
+    Alcotest.(check (array int)) "same links" (sort (Overlay.links a node)) (sort (Overlay.links b node))
+  done
+
+(* --- Crescendo ---------------------------------------------------- *)
+
+let crescendo_fixture =
+  lazy
+    (let pop = make_pop ~seed:2 ~fanout:5 ~levels:3 ~n:2000 () in
+     let rings = Rings.build pop in
+     (pop, rings, Crescendo.build rings))
+
+let test_crescendo_flat_equals_chord () =
+  let pop = make_pop ~seed:3 ~fanout:10 ~levels:1 ~n:512 () in
+  let chord = Chord.build pop in
+  let crescendo = Crescendo.build (Rings.build pop) in
+  for node = 0 to Population.size pop - 1 do
+    let sort l = let l = Array.copy l in Array.sort Int.compare l; l in
+    Alcotest.(check (array int)) "flat crescendo = chord"
+      (sort (Overlay.links chord node))
+      (sort (Overlay.links crescendo node))
+  done
+
+let test_crescendo_successor_at_every_level () =
+  let pop, rings, ov = Lazy.force crescendo_fixture in
+  for node = 0 to Population.size pop - 1 do
+    let id = pop.Population.ids.(node) in
+    Array.iter
+      (fun domain ->
+        let ring = Rings.ring rings domain in
+        if Ring.size ring >= 2 then begin
+          let succ = Ring.successor_of_id ring id in
+          if not (Overlay.has_link ov node succ) then
+            Alcotest.failf "node %d lacks level successor in domain %d" node domain
+        end)
+      (Rings.chain rings node)
+  done
+
+let test_crescendo_condition_b () =
+  (* Every link leaving the node's leaf domain must be strictly closer
+     than the closest node of the child ring at the level where the
+     link was created (the lca level). *)
+  let pop, rings, ov = Lazy.force crescendo_fixture in
+  let tree = pop.Population.tree in
+  Overlay.iter_links ov (fun src dst ->
+      let leaf_src = pop.Population.leaf_of_node.(src) in
+      let leaf_dst = pop.Population.leaf_of_node.(dst) in
+      if leaf_src <> leaf_dst then begin
+        let lca = Domain_tree.lca tree leaf_src leaf_dst in
+        (* src's child domain under the lca *)
+        let child = Domain_tree.ancestor_at_depth tree leaf_src (Domain_tree.depth tree lca + 1) in
+        let child_ring = Rings.ring rings child in
+        let d_own = Ring.successor_distance child_ring pop.Population.ids.(src) in
+        let d = Id.distance pop.Population.ids.(src) pop.Population.ids.(dst) in
+        if d >= d_own then
+          Alcotest.failf "link %d->%d violates condition (b): d=%d d_own=%d" src dst d d_own
+      end)
+
+let test_crescendo_routing_reaches () =
+  let _pop, _rings, ov = Lazy.force crescendo_fixture in
+  let rng = Rng.create 17 in
+  for _ = 1 to 500 do
+    let src = Rng.int_below rng (Overlay.size ov) in
+    let dst = Rng.int_below rng (Overlay.size ov) in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches dst" dst (Route.destination route)
+  done
+
+let test_crescendo_intra_domain_locality () =
+  (* Paper §2.2: the route between two nodes of a domain never leaves
+     the lowest domain containing both. *)
+  let pop, _rings, ov = Lazy.force crescendo_fixture in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 19 in
+  let checked = ref 0 in
+  let n = Population.size pop in
+  while !checked < 300 do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    if src <> dst then begin
+      let lca = Population.lca_of_nodes pop src dst in
+      if Domain_tree.depth tree lca >= 1 then begin
+        incr checked;
+        let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+        Array.iter
+          (fun node ->
+            let leaf = pop.Population.leaf_of_node.(node) in
+            if not (Domain_tree.is_ancestor tree ~anc:lca ~desc:leaf) then
+              Alcotest.failf "route %d->%d leaves lca domain %d at node %d" src dst lca node)
+          route.Route.nodes
+      end
+    end
+  done
+
+let test_crescendo_inter_domain_convergence () =
+  (* Paper §2.2: all routes from nodes of a domain D to an outside node
+     t exit D through the closest predecessor of t within D. *)
+  let pop, rings, ov = Lazy.force crescendo_fixture in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 23 in
+  let n = Population.size pop in
+  let trials = ref 0 in
+  while !trials < 40 do
+    let dst = Rng.int_below rng n in
+    (* pick a depth-1 domain not containing dst *)
+    let domains = Domain_tree.children tree (Domain_tree.root tree) in
+    let d = domains.(Rng.int_below rng (Array.length domains)) in
+    let dst_dom = Population.domain_of_node_at_depth pop dst 1 in
+    let ring = Rings.ring rings d in
+    if d <> dst_dom && Ring.size ring >= 2 then begin
+      incr trials;
+      let proxy = Ring.predecessor_of_id ring (Overlay.id ov dst) in
+      (* route from several random members of d *)
+      for _ = 1 to 10 do
+        let src = Ring.node_at ring (Rng.int_below rng (Ring.size ring)) in
+        let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+        (* last node of the path that lies inside d *)
+        let exit = ref (-1) in
+        Array.iter
+          (fun node ->
+            if Population.domain_of_node_at_depth pop node 1 = d then exit := node)
+          route.Route.nodes;
+        Alcotest.(check int) "exit through proxy" proxy !exit
+      done
+    end
+  done
+
+let test_crescendo_degree_bound () =
+  let pop, _rings, ov = Lazy.force crescendo_fixture in
+  let n = Population.size pop in
+  let tree = pop.Population.tree in
+  let l = Float.of_int (Domain_tree.height tree + 1) in
+  (* Theorem 2: E[degree] <= log2(n-1) + min(l, log2 n). *)
+  let bound = log2f (Float.of_int (n - 1)) +. Float.min l (log2f (Float.of_int n)) in
+  let mean = Overlay.mean_degree ov in
+  if mean > bound then Alcotest.failf "mean degree %.3f exceeds Theorem 2 bound %.3f" mean bound;
+  (* Paper's stronger experimental observation: hierarchical degree is
+     *below* flat Chord's log2(n-1)+1. *)
+  let chord_bound = log2f (Float.of_int (n - 1)) +. 1.0 in
+  if mean > chord_bound then
+    Alcotest.failf "mean degree %.3f above Chord bound %.3f (paper: should be below)" mean chord_bound
+
+let test_crescendo_hops_bound () =
+  let _pop, _rings, ov = Lazy.force crescendo_fixture in
+  let n = Overlay.size ov in
+  let rng = Rng.create 29 in
+  let samples = 1000 in
+  let total = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    total := !total + Route.hops (Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst))
+  done;
+  let mean = Float.of_int !total /. Float.of_int samples in
+  (* Theorem 5: E[hops] <= log2(n-1) + 1; experimentally ~0.5 log n + c. *)
+  let bound = log2f (Float.of_int (n - 1)) +. 1.0 in
+  if mean > bound then Alcotest.failf "mean hops %.3f exceeds Theorem 5 bound %.3f" mean bound;
+  let chord_like = (0.5 *. log2f (Float.of_int (n - 1))) +. 0.5 in
+  if mean > chord_like +. 0.7 +. 0.3 then
+    Alcotest.failf "mean hops %.3f more than 0.7 above Chord's %.3f (paper Fig 5)" mean chord_like
+
+let test_crescendo_zero_and_one_node () =
+  let pop0 = make_pop ~seed:4 ~fanout:3 ~levels:2 ~n:0 () in
+  let ov0 = Crescendo.build (Rings.build pop0) in
+  Alcotest.(check int) "empty overlay" 0 (Overlay.size ov0);
+  let pop1 = make_pop ~seed:4 ~fanout:3 ~levels:2 ~n:1 () in
+  let ov1 = Crescendo.build (Rings.build pop1) in
+  Alcotest.(check int) "one node, no links" 0 (Overlay.degree ov1 0);
+  let r = Router.greedy_clockwise ov1 ~src:0 ~key:12345 in
+  Alcotest.(check int) "routes to self-predecessor" 0 (Route.destination r)
+
+(* --- Symphony / Cacophony ---------------------------------------- *)
+
+let test_symphony_routing_reaches () =
+  let pop = make_pop ~seed:6 ~fanout:10 ~levels:1 ~n:1024 () in
+  let ov = Symphony.build (Rng.create 100) pop in
+  let rng = Rng.create 31 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 1024 and dst = Rng.int_below rng 1024 in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_symphony_degree () =
+  let pop = make_pop ~seed:6 ~fanout:10 ~levels:1 ~n:1024 () in
+  let ov = Symphony.build (Rng.create 100) pop in
+  let mean = Overlay.mean_degree ov in
+  (* 1 successor + floor(log2 1024) = 10 long links, minus collisions. *)
+  if mean > 11.0 || mean < 7.0 then Alcotest.failf "symphony mean degree %.2f out of range" mean
+
+let test_symphony_harmonic_distribution () =
+  let rng = Rng.create 41 in
+  let n = 1024 in
+  let small = ref 0 and total = 10_000 in
+  for _ = 1 to total do
+    let d = Symphony.harmonic_distance rng ~n in
+    if d <= Id.space / 32 then incr small
+  done;
+  (* P(x <= 1/32) = ln(n/32)/ln n = (10-5)/10 = 0.5 for n = 2^10. *)
+  let frac = Float.of_int !small /. Float.of_int total in
+  if Float.abs (frac -. 0.5) > 0.05 then
+    Alcotest.failf "harmonic draw fraction %.3f, expected ~0.5" frac
+
+let test_lookahead_reaches_and_helps () =
+  let pop = make_pop ~seed:8 ~fanout:10 ~levels:1 ~n:2048 () in
+  let ov = Symphony.build (Rng.create 200) pop in
+  let rng = Rng.create 43 in
+  let samples = 600 in
+  let plain = ref 0 and look = ref 0 in
+  for _ = 1 to samples do
+    let src = Rng.int_below rng 2048 and dst = Rng.int_below rng 2048 in
+    let key = Overlay.id ov dst in
+    let r1 = Router.greedy_clockwise ov ~src ~key in
+    let r2 = Router.greedy_clockwise_lookahead ov ~src ~key in
+    Alcotest.(check int) "lookahead reaches" dst (Route.destination r2);
+    plain := !plain + Route.hops r1;
+    look := !look + Route.hops r2
+  done;
+  (* §3.1: lookahead gives ~40% fewer hops; require at least 15%. *)
+  if Float.of_int !look > 0.85 *. Float.of_int !plain then
+    Alcotest.failf "lookahead %d hops not clearly better than plain %d" !look !plain
+
+let cacophony_fixture =
+  lazy
+    (let pop = make_pop ~seed:9 ~fanout:5 ~levels:3 ~n:1500 () in
+     let rings = Rings.build pop in
+     (pop, rings, Cacophony.build (Rng.create 300) rings))
+
+let test_cacophony_routing_reaches () =
+  let _pop, _rings, ov = Lazy.force cacophony_fixture in
+  let rng = Rng.create 47 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng (Overlay.size ov) in
+    let dst = Rng.int_below rng (Overlay.size ov) in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_cacophony_locality () =
+  let pop, _rings, ov = Lazy.force cacophony_fixture in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 53 in
+  let n = Population.size pop in
+  let checked = ref 0 in
+  while !checked < 200 do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    if src <> dst then begin
+      let lca = Population.lca_of_nodes pop src dst in
+      if Domain_tree.depth tree lca >= 1 then begin
+        incr checked;
+        let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+        Array.iter
+          (fun node ->
+            if not (Domain_tree.is_ancestor tree ~anc:lca ~desc:pop.Population.leaf_of_node.(node))
+            then Alcotest.failf "cacophony route %d->%d escapes its domain" src dst)
+          route.Route.nodes
+      end
+    end
+  done
+
+let test_cacophony_degree () =
+  let _pop, _rings, ov = Lazy.force cacophony_fixture in
+  let mean = Overlay.mean_degree ov in
+  let bound = log2f 1500.0 +. 3.0 in
+  if mean > bound || mean < 3.0 then Alcotest.failf "cacophony mean degree %.2f out of range" mean
+
+(* --- Nondeterministic Chord / Crescendo --------------------------- *)
+
+let test_nd_chord_reaches_and_degree () =
+  let pop = make_pop ~seed:10 ~fanout:10 ~levels:1 ~n:1024 () in
+  let ov = Nd_chord.build (Rng.create 400) pop in
+  let rng = Rng.create 59 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 1024 and dst = Rng.int_below rng 1024 in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done;
+  let mean = Overlay.mean_degree ov in
+  if mean > 12.0 || mean < 7.0 then Alcotest.failf "nd-chord mean degree %.2f out of range" mean
+
+let test_nd_chord_bucket_structure () =
+  (* Every link other than the successor must fall into a [2^k, 2^(k+1))
+     bucket — trivially true — and no bucket may hold two links. *)
+  let pop = make_pop ~seed:11 ~fanout:10 ~levels:1 ~n:512 () in
+  let ov = Nd_chord.build (Rng.create 500) pop in
+  let n = Population.size pop in
+  let ring = Ring.of_members ~ids:pop.Population.ids ~members:(Array.init n Fun.id) in
+  for node = 0 to n - 1 do
+    let id = pop.Population.ids.(node) in
+    let succ = Ring.successor_of_id ring id in
+    let buckets = Array.make Id.bits 0 in
+    Array.iter
+      (fun v ->
+        if v <> succ then begin
+          let k = Id.log2_floor (Id.distance id pop.Population.ids.(v)) in
+          buckets.(k) <- buckets.(k) + 1
+        end)
+      (Overlay.links ov node);
+    Array.iteri
+      (fun k c -> if c > 1 then Alcotest.failf "node %d has %d links in bucket %d" node c k)
+      buckets
+  done
+
+let nd_crescendo_fixture =
+  lazy
+    (let pop = make_pop ~seed:12 ~fanout:5 ~levels:3 ~n:1500 () in
+     let rings = Rings.build pop in
+     (pop, rings, Nd_crescendo.build (Rng.create 600) rings))
+
+let test_nd_crescendo_reaches () =
+  let _pop, _rings, ov = Lazy.force nd_crescendo_fixture in
+  let rng = Rng.create 61 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng (Overlay.size ov) in
+    let dst = Rng.int_below rng (Overlay.size ov) in
+    let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_nd_crescendo_locality () =
+  let pop, _rings, ov = Lazy.force nd_crescendo_fixture in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 67 in
+  let n = Population.size pop in
+  let checked = ref 0 in
+  while !checked < 200 do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    if src <> dst then begin
+      let lca = Population.lca_of_nodes pop src dst in
+      if Domain_tree.depth tree lca >= 1 then begin
+        incr checked;
+        let route = Router.greedy_clockwise ov ~src ~key:(Overlay.id ov dst) in
+        Array.iter
+          (fun node ->
+            if not (Domain_tree.is_ancestor tree ~anc:lca ~desc:pop.Population.leaf_of_node.(node))
+            then Alcotest.failf "nd-crescendo route %d->%d escapes its domain" src dst)
+          route.Route.nodes
+      end
+    end
+  done
+
+let test_nd_crescendo_condition_b () =
+  let pop, rings, ov = Lazy.force nd_crescendo_fixture in
+  let tree = pop.Population.tree in
+  Overlay.iter_links ov (fun src dst ->
+      let leaf_src = pop.Population.leaf_of_node.(src) in
+      let leaf_dst = pop.Population.leaf_of_node.(dst) in
+      if leaf_src <> leaf_dst then begin
+        let lca = Domain_tree.lca tree leaf_src leaf_dst in
+        let child = Domain_tree.ancestor_at_depth tree leaf_src (Domain_tree.depth tree lca + 1) in
+        let d_own = Ring.successor_distance (Rings.ring rings child) pop.Population.ids.(src) in
+        let d = Id.distance pop.Population.ids.(src) pop.Population.ids.(dst) in
+        if d > d_own then
+          Alcotest.failf "nd link %d->%d violates condition (b): d=%d d_own=%d" src dst d d_own
+      end)
+
+(* --- Kademlia / Kandy / CAN / Can-Can ----------------------------- *)
+
+let test_kademlia_reaches () =
+  let pop = make_pop ~seed:13 ~fanout:10 ~levels:1 ~n:1024 () in
+  let ov = Kademlia.build (Rng.create 700) pop in
+  let rng = Rng.create 71 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 1024 and dst = Rng.int_below rng 1024 in
+    let route = Router.greedy_xor ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_kademlia_bucket_invariant () =
+  let pop = make_pop ~seed:14 ~fanout:10 ~levels:1 ~n:512 () in
+  let ov = Kademlia.build (Rng.create 800) pop in
+  let n = Population.size pop in
+  let ids = pop.Population.ids in
+  for node = 0 to n - 1 do
+    let covered = Array.make Id.bits false in
+    Array.iter
+      (fun v -> covered.(Id.log2_floor (Id.xor_distance ids.(node) ids.(v))) <- true)
+      (Overlay.links ov node);
+    (* every non-empty bucket must be covered *)
+    for other = 0 to n - 1 do
+      if other <> node then begin
+        let k = Id.log2_floor (Id.xor_distance ids.(node) ids.(other)) in
+        if not covered.(k) then Alcotest.failf "node %d misses non-empty bucket %d" node k
+      end
+    done
+  done
+
+let xor_hier_fixture =
+  lazy
+    (let pop = make_pop ~seed:15 ~fanout:5 ~levels:3 ~n:1200 () in
+     let rings = Rings.build pop in
+     (pop, rings))
+
+let test_kandy_reaches_and_locality () =
+  let pop, rings = Lazy.force xor_hier_fixture in
+  let ov = Kandy.build (Rng.create 900) rings in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 73 in
+  let n = Population.size pop in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    let route = Router.greedy_xor ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route);
+    (* XOR locality: greedy descent stays within the lca domain. *)
+    let lca = Population.lca_of_nodes pop src dst in
+    Array.iter
+      (fun node ->
+        if not (Domain_tree.is_ancestor tree ~anc:lca ~desc:pop.Population.leaf_of_node.(node))
+        then Alcotest.failf "kandy route %d->%d escapes its lca domain" src dst)
+      route.Route.nodes
+  done
+
+let test_kandy_domain_bucket_invariant () =
+  (* For every domain D containing m and every bucket of m non-empty
+     within D, m links to a node of D in that bucket. *)
+  let pop, rings = Lazy.force xor_hier_fixture in
+  let ov = Kandy.build (Rng.create 901) rings in
+  let ids = pop.Population.ids in
+  let rng = Rng.create 79 in
+  for _ = 1 to 100 do
+    let node = Rng.int_below rng (Population.size pop) in
+    Array.iter
+      (fun domain ->
+        let ring = Rings.ring rings domain in
+        let members = Ring.members ring in
+        let needed = Array.make Id.bits false in
+        Array.iter
+          (fun m ->
+            if m <> node then
+              needed.(Id.log2_floor (Id.xor_distance ids.(node) ids.(m))) <- true)
+          members;
+        let covered = Array.make Id.bits false in
+        Array.iter
+          (fun v ->
+            (* only links into this domain count *)
+            if Array.exists (Int.equal v) members then
+              covered.(Id.log2_floor (Id.xor_distance ids.(node) ids.(v))) <- true)
+          (Overlay.links ov node);
+        Array.iteri
+          (fun k need ->
+            if need && not covered.(k) then
+              Alcotest.failf "node %d: bucket %d non-empty in domain %d but unlinked" node k domain)
+          needed)
+      (Rings.chain rings node)
+  done
+
+let test_can_deterministic_and_reaches () =
+  let pop = make_pop ~seed:16 ~fanout:10 ~levels:1 ~n:777 () in
+  let a = Can.build pop and b = Can.build pop in
+  for node = 0 to 776 do
+    Alcotest.(check (array int)) "deterministic" (Overlay.links a node) (Overlay.links b node)
+  done;
+  let rng = Rng.create 83 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 777 and dst = Rng.int_below rng 777 in
+    let route = Router.greedy_xor a ~src ~key:(Overlay.id a dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_can_closest_choice () =
+  (* The deterministic rule picks, per bucket, the XOR-closest member. *)
+  let pop = make_pop ~seed:17 ~fanout:10 ~levels:1 ~n:300 () in
+  let ov = Can.build pop in
+  let n = 300 in
+  let ids = pop.Population.ids in
+  for node = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        let d = Id.xor_distance ids.(node) ids.(v) in
+        let k = Id.log2_floor d in
+        (* no other node in the same bucket may be strictly closer *)
+        for other = 0 to n - 1 do
+          if other <> node && other <> v then begin
+            let d' = Id.xor_distance ids.(node) ids.(other) in
+            if Id.log2_floor d' = k && d' < d then
+              Alcotest.failf "node %d bucket %d: linked %d (d=%d) but %d closer (d=%d)" node k v d
+                other d'
+          end
+        done)
+      (Overlay.links ov node)
+  done
+
+let test_can_can_reaches () =
+  let _pop, rings = Lazy.force xor_hier_fixture in
+  let ov = Can_can.build rings in
+  let rng = Rng.create 89 in
+  let n = Overlay.size ov in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng n and dst = Rng.int_below rng n in
+    let route = Router.greedy_xor ov ~src ~key:(Overlay.id ov dst) in
+    Alcotest.(check int) "reaches" dst (Route.destination route)
+  done
+
+let test_xor_hier_degree () =
+  let _pop, rings = Lazy.force xor_hier_fixture in
+  let kandy = Kandy.build (Rng.create 902) rings in
+  let cancan = Can_can.build rings in
+  let bound = log2f 1200.0 +. 3.0 in
+  if Overlay.mean_degree kandy > bound then
+    Alcotest.failf "kandy mean degree %.2f too high" (Overlay.mean_degree kandy);
+  if Overlay.mean_degree cancan > bound then
+    Alcotest.failf "can-can mean degree %.2f too high" (Overlay.mean_degree cancan)
+
+(* --- Proximity ---------------------------------------------------- *)
+
+(* A synthetic latency oracle: nodes are placed on a line by leaf
+   domain; latency is the absolute distance. It rewards proximity-aware
+   choices deterministically. *)
+let line_latency pop a b =
+  let pa = pop.Population.leaf_of_node.(a) and pb = pop.Population.leaf_of_node.(b) in
+  1.0 +. Float.abs (Float.of_int pa -. Float.of_int pb)
+
+let test_chord_prox_reaches () =
+  let pop = make_pop ~seed:18 ~fanout:10 ~levels:2 ~n:1024 () in
+  let prox = Proximity.build_chord pop ~node_latency:(line_latency pop) in
+  let rng = Rng.create 97 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 1024 and dst = Rng.int_below rng 1024 in
+    let route = Proximity.route prox ~src ~dst in
+    Alcotest.(check int) "reaches" dst (Route.destination route);
+    Alcotest.(check int) "from src" src (Route.source route)
+  done
+
+let test_chord_prox_clique () =
+  let pop = make_pop ~seed:19 ~fanout:10 ~levels:1 ~n:512 () in
+  let prox = Proximity.build_chord pop ~node_latency:(line_latency pop) in
+  let ov = Proximity.overlay prox in
+  let t_bits = Proximity.group_bits ~n:512 ~group_size:Proximity.default_group_size in
+  for a = 0 to 511 do
+    for b = 0 to 511 do
+      if a <> b
+         && Id.prefix (Overlay.id ov a) t_bits = Id.prefix (Overlay.id ov b) t_bits
+         && not (Overlay.has_link ov a b)
+      then Alcotest.failf "group peers %d %d not linked" a b
+    done
+  done
+
+let test_crescendo_prox_reaches_and_locality () =
+  let pop = make_pop ~seed:20 ~fanout:5 ~levels:3 ~n:1024 () in
+  let rings = Rings.build pop in
+  let prox = Proximity.build_crescendo rings ~node_latency:(line_latency pop) in
+  let tree = pop.Population.tree in
+  let rng = Rng.create 101 in
+  for _ = 1 to 300 do
+    let src = Rng.int_below rng 1024 and dst = Rng.int_below rng 1024 in
+    let route = Proximity.route prox ~src ~dst in
+    Alcotest.(check int) "reaches" dst (Route.destination route);
+    let lca = Population.lca_of_nodes pop src dst in
+    Array.iter
+      (fun node ->
+        if not (Domain_tree.is_ancestor tree ~anc:lca ~desc:pop.Population.leaf_of_node.(node))
+        then Alcotest.failf "crescendo-prox route %d->%d escapes its domain" src dst)
+      route.Route.nodes
+  done
+
+let test_group_bits () =
+  Alcotest.(check int) "small n" 0 (Proximity.group_bits ~n:8 ~group_size:16);
+  Alcotest.(check int) "1024/16" 6 (Proximity.group_bits ~n:1024 ~group_size:16);
+  Alcotest.(check int) "nonpow2" 6 (Proximity.group_bits ~n:1100 ~group_size:16)
+
+(* --- Route metrics ------------------------------------------------ *)
+
+let test_route_metrics () =
+  let r = Route.{ nodes = [| 3; 5; 9 |] } in
+  Alcotest.(check int) "hops" 2 (Route.hops r);
+  Alcotest.(check int) "src" 3 (Route.source r);
+  Alcotest.(check int) "dst" 9 (Route.destination r);
+  Alcotest.(check bool) "mem" true (Route.mem r 5);
+  Alcotest.(check bool) "not mem" false (Route.mem r 4);
+  let lat = Route.latency r ~node_latency:(fun a b -> Float.of_int (abs (a - b))) in
+  Alcotest.(check (float 1e-9)) "latency" 6.0 lat;
+  let single = Route.singleton 7 in
+  Alcotest.(check int) "singleton hops" 0 (Route.hops single);
+  Alcotest.(check (float 1e-9)) "singleton latency" 0.0
+    (Route.latency single ~node_latency:(fun _ _ -> 1.0))
+
+let test_route_overlap () =
+  let p1 = Route.{ nodes = [| 1; 2; 3; 4 |] } in
+  let p2 = Route.{ nodes = [| 9; 2; 3; 4 |] } in
+  Alcotest.(check (float 1e-9)) "hop overlap" (2.0 /. 3.0)
+    (Route.overlap_fraction ~reference:p1 p2 `Hops);
+  let oracle a b = if (a, b) = (2, 3) || (b, a) = (2, 3) then 10.0 else 1.0 in
+  Alcotest.(check (float 1e-9)) "latency overlap" (11.0 /. 12.0)
+    (Route.overlap_fraction ~reference:p1 p2 (`Latency oracle));
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0
+    (Route.overlap_fraction ~reference:p1 Route.{ nodes = [| 7; 8 |] } `Hops);
+  Alcotest.(check (float 1e-9)) "self overlap" 1.0
+    (Route.overlap_fraction ~reference:p1 p1 `Hops)
+
+let test_route_domain_crossings () =
+  let r = Route.{ nodes = [| 0; 1; 2; 3 |] } in
+  let dom = function 0 -> 0 | 1 -> 0 | 2 -> 1 | 3 -> 1 | _ -> assert false in
+  Alcotest.(check int) "crossings" 1 (Route.domain_crossings r ~domain_of_node:dom)
+
+let suites =
+  [
+    ( "ring",
+      [
+        Alcotest.test_case "searches" `Quick test_ring_searches;
+        Alcotest.test_case "successor distance" `Quick test_ring_successor_distance;
+        Alcotest.test_case "finger" `Quick test_ring_finger;
+        Alcotest.test_case "arcs" `Quick test_ring_arcs;
+        Alcotest.test_case "duplicate ids" `Quick test_ring_duplicate_ids;
+        QCheck_alcotest.to_alcotest prop_ring_predecessor_successor;
+      ] );
+    ( "chord",
+      [
+        Alcotest.test_case "successor links" `Quick test_chord_successor_links;
+        Alcotest.test_case "routing reaches" `Quick test_chord_routing_reaches;
+        Alcotest.test_case "key routing -> predecessor" `Quick test_chord_key_routing_hits_predecessor;
+        Alcotest.test_case "degree bound (Thm 1)" `Quick test_chord_degree_bound;
+        Alcotest.test_case "hops bound (Thm 4)" `Quick test_chord_hops_bound;
+        Alcotest.test_case "deterministic" `Quick test_chord_deterministic;
+      ] );
+    ( "crescendo",
+      [
+        Alcotest.test_case "flat = chord" `Quick test_crescendo_flat_equals_chord;
+        Alcotest.test_case "successor at every level" `Quick test_crescendo_successor_at_every_level;
+        Alcotest.test_case "condition (b)" `Quick test_crescendo_condition_b;
+        Alcotest.test_case "routing reaches" `Quick test_crescendo_routing_reaches;
+        Alcotest.test_case "intra-domain locality" `Quick test_crescendo_intra_domain_locality;
+        Alcotest.test_case "inter-domain convergence" `Quick test_crescendo_inter_domain_convergence;
+        Alcotest.test_case "degree bound (Thm 2)" `Quick test_crescendo_degree_bound;
+        Alcotest.test_case "hops bound (Thm 5)" `Quick test_crescendo_hops_bound;
+        Alcotest.test_case "degenerate sizes" `Quick test_crescendo_zero_and_one_node;
+      ] );
+    ( "symphony",
+      [
+        Alcotest.test_case "routing reaches" `Quick test_symphony_routing_reaches;
+        Alcotest.test_case "degree" `Quick test_symphony_degree;
+        Alcotest.test_case "harmonic distribution" `Quick test_symphony_harmonic_distribution;
+        Alcotest.test_case "lookahead reaches and helps" `Quick test_lookahead_reaches_and_helps;
+      ] );
+    ( "cacophony",
+      [
+        Alcotest.test_case "routing reaches" `Quick test_cacophony_routing_reaches;
+        Alcotest.test_case "locality" `Quick test_cacophony_locality;
+        Alcotest.test_case "degree" `Quick test_cacophony_degree;
+      ] );
+    ( "nd-chord",
+      [
+        Alcotest.test_case "reaches + degree" `Quick test_nd_chord_reaches_and_degree;
+        Alcotest.test_case "bucket structure" `Quick test_nd_chord_bucket_structure;
+        Alcotest.test_case "nd-crescendo reaches" `Quick test_nd_crescendo_reaches;
+        Alcotest.test_case "nd-crescendo locality" `Quick test_nd_crescendo_locality;
+        Alcotest.test_case "nd-crescendo condition (b)" `Quick test_nd_crescendo_condition_b;
+      ] );
+    ( "xor-dhts",
+      [
+        Alcotest.test_case "kademlia reaches" `Quick test_kademlia_reaches;
+        Alcotest.test_case "kademlia bucket invariant" `Quick test_kademlia_bucket_invariant;
+        Alcotest.test_case "kandy reaches + locality" `Quick test_kandy_reaches_and_locality;
+        Alcotest.test_case "kandy domain bucket invariant" `Quick test_kandy_domain_bucket_invariant;
+        Alcotest.test_case "can deterministic + reaches" `Quick test_can_deterministic_and_reaches;
+        Alcotest.test_case "can closest choice" `Quick test_can_closest_choice;
+        Alcotest.test_case "can-can reaches" `Quick test_can_can_reaches;
+        Alcotest.test_case "hierarchical xor degree" `Quick test_xor_hier_degree;
+      ] );
+    ( "proximity",
+      [
+        Alcotest.test_case "chord-prox reaches" `Quick test_chord_prox_reaches;
+        Alcotest.test_case "chord-prox clique" `Quick test_chord_prox_clique;
+        Alcotest.test_case "crescendo-prox reaches + locality" `Quick
+          test_crescendo_prox_reaches_and_locality;
+        Alcotest.test_case "group bits" `Quick test_group_bits;
+      ] );
+    ( "route",
+      [
+        Alcotest.test_case "metrics" `Quick test_route_metrics;
+        Alcotest.test_case "overlap" `Quick test_route_overlap;
+        Alcotest.test_case "domain crossings" `Quick test_route_domain_crossings;
+      ] );
+  ]
+
+(* --- Overlay validation -------------------------------------------- *)
+
+let test_overlay_validation () =
+  let pop = make_pop ~seed:99 ~fanout:3 ~levels:1 ~n:4 () in
+  Alcotest.(check bool) "self link rejected" true
+    (try ignore (Overlay.create pop ~links:[| [| 0 |]; [||]; [||]; [||] |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try ignore (Overlay.create pop ~links:[| [| 1; 1 |]; [||]; [||]; [||] |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range rejected" true
+    (try ignore (Overlay.create pop ~links:[| [| 9 |]; [||]; [||]; [||] |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "size mismatch rejected" true
+    (try ignore (Overlay.create pop ~links:[| [||] |]); false
+     with Invalid_argument _ -> true);
+  let ov = Overlay.create pop ~links:[| [| 1 |]; [| 0; 2 |]; [||]; [||] |] in
+  Alcotest.(check int) "degree" 2 (Overlay.degree ov 1);
+  Alcotest.(check (float 1e-9)) "mean degree" 0.75 (Overlay.mean_degree ov);
+  let count = ref 0 in
+  Overlay.iter_links ov (fun _ _ -> incr count);
+  Alcotest.(check int) "iter_links count" 3 !count
+
+let validation_suites =
+  [ ("overlay", [ Alcotest.test_case "validation" `Quick test_overlay_validation ]) ]
+
+let suites = suites @ validation_suites

@@ -1,0 +1,215 @@
+(* Integration tests: run every experiment at quick scale and assert the
+   qualitative shapes the paper reports. These are the same claims
+   EXPERIMENTS.md records at paper scale, locked in as regressions. *)
+
+open Canon_experiments
+module Table = Canon_stats.Table
+
+let seed = 42
+
+let cell table r c = List.nth (List.nth (Table.rows table) r) c
+
+let cellf table r c = float_of_string (cell table r c)
+
+let nrows table = List.length (Table.rows table)
+
+(* One topology-free and one topology-backed group, so the expensive
+   Dijkstra setup runs only in a few tests. *)
+
+let test_fig3_shape () =
+  let t = Fig3.run ~scale:`Quick ~seed in
+  Alcotest.(check bool) "has rows" true (nrows t >= 3);
+  (* links close to log2 n and decreasing with levels *)
+  List.iteri
+    (fun r _ ->
+      let log2n = cellf t r 1 in
+      let chord = cellf t r 2 and five = cellf t r 6 in
+      if Float.abs (chord -. log2n) > 1.0 then Alcotest.fail "Chord links far from log2 n";
+      if five >= chord then Alcotest.fail "levels do not reduce links")
+    (Table.rows t)
+
+let test_fig4_shape () =
+  let t = Fig4.run ~scale:`Quick ~seed in
+  (* fractions in each column sum to ~1 *)
+  let cols = List.length (Table.columns t) in
+  for c = 1 to cols - 1 do
+    let total =
+      List.fold_left (fun acc row -> acc +. float_of_string (List.nth row c)) 0.0 (Table.rows t)
+    in
+    if total < 0.95 || total > 1.01 then Alcotest.failf "column %d mass %.3f" c total
+  done
+
+let test_fig5_shape () =
+  let t = Fig5.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let half_log = float_of_string (List.nth row 1) in
+      let chord = float_of_string (List.nth row 2) in
+      let five = float_of_string (List.nth row 6) in
+      if Float.abs (chord -. half_log) > 1.0 then Alcotest.fail "Chord hops far from 0.5 log2 n";
+      (* paper: increase at most ~0.7 across levels *)
+      if five -. chord > 1.0 then Alcotest.fail "hierarchy hops penalty too large")
+    (Table.rows t)
+
+let test_theorems_bounds_hold () =
+  let t = Theorems.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let deg = float_of_string (List.nth row 3) in
+      let deg_bound = float_of_string (List.nth row 4) in
+      let hops = float_of_string (List.nth row 5) in
+      let hops_bound = float_of_string (List.nth row 6) in
+      if deg > deg_bound then Alcotest.fail "degree bound violated";
+      if hops > hops_bound then Alcotest.fail "hops bound violated")
+    (Table.rows t)
+
+let test_variants_parity () =
+  let t = Variants.run ~scale:`Quick ~seed in
+  Alcotest.(check int) "12 systems" 12 (nrows t);
+  (* each Canonical row is within 40% of its flat sibling's hops *)
+  let hops r = cellf t r 2 in
+  List.iter
+    (fun (flat, canonical) ->
+      let f = hops flat and c = hops canonical in
+      if c > 1.4 *. f || f > 1.4 *. c then
+        Alcotest.failf "rows %d/%d hops diverge: %.2f vs %.2f" flat canonical f c)
+    [ (0, 1); (2, 3); (4, 5); (6, 7); (8, 9); (10, 11) ]
+
+let test_lookahead_saves () =
+  let t = Lookahead_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let saving = float_of_string (List.nth row 3) in
+      if saving < 0.1 then Alcotest.fail "lookahead saves too little")
+    (Table.rows t)
+
+let test_balance_shape () =
+  let t = Balance_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let random = float_of_string (List.nth row 1) in
+      let bisect = float_of_string (List.nth row 2) in
+      if bisect > 20.0 then Alcotest.fail "bisection ratio not constant-ish";
+      if bisect > random /. 10.0 then Alcotest.fail "bisection not clearly better")
+    (Table.rows t)
+
+let test_maintenance_shape () =
+  let t = Maintenance_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let log2n = float_of_string (List.nth row 1) in
+      let join = float_of_string (List.nth row 2) in
+      let failed = int_of_string (List.nth row 6) in
+      Alcotest.(check int) "no failed probes" 0 failed;
+      if join > 8.0 *. log2n then Alcotest.fail "join cost not O(log n)")
+    (Table.rows t)
+
+let test_isolation_shape () =
+  let t = Isolation.run ~scale:`Quick ~seed in
+  List.iteri
+    (fun i row ->
+      let chord = float_of_string (List.nth row 1) in
+      let crescendo = float_of_string (List.nth row 2) in
+      Alcotest.(check (float 1e-9)) "crescendo always delivers" 1.0 crescendo;
+      if i >= 3 && chord >= 0.99 then Alcotest.fail "chord should degrade under heavy failure")
+    (Table.rows t)
+
+let test_hybrid_shape () =
+  let t = Hybrid_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let c_hops = float_of_string (List.nth row 3) in
+      let h_hops = float_of_string (List.nth row 4) in
+      if h_hops > c_hops then Alcotest.fail "hybrid must not be slower";
+      let c_deg = float_of_string (List.nth row 1) in
+      let h_deg = float_of_string (List.nth row 2) in
+      if h_deg <= c_deg then Alcotest.fail "hybrid clique must cost degree")
+    (Table.rows t)
+
+let test_prefix_can_parity () =
+  let t = Prefix_can_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let pdeg = float_of_string (List.nth row 1) in
+      let xdeg = float_of_string (List.nth row 2) in
+      let phops = float_of_string (List.nth row 3) in
+      let xhops = float_of_string (List.nth row 4) in
+      if Float.abs (pdeg -. xdeg) > 1.5 then Alcotest.fail "degree parity broken";
+      if Float.abs (phops -. xhops) > 1.0 then Alcotest.fail "hops parity broken")
+    (Table.rows t)
+
+(* topology-backed: one shared quick run each *)
+
+let test_fig6_shape () =
+  let t = Fig6.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let chord = float_of_string (List.nth row 2) in
+      let crescendo = float_of_string (List.nth row 4) in
+      let crescendo_prox = float_of_string (List.nth row 8) in
+      if crescendo >= chord then Alcotest.fail "crescendo stretch must beat chord";
+      if crescendo_prox > crescendo +. 0.1 then
+        Alcotest.fail "prox must not make crescendo worse")
+    (Table.rows t)
+
+let test_fig7_shape () =
+  let t = Fig7.run ~scale:`Quick ~seed in
+  let rows = Table.rows t in
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  let crescendo_top = float_of_string (List.nth first 2) in
+  let crescendo_leaf = float_of_string (List.nth last 2) in
+  let chord_top = float_of_string (List.nth first 1) in
+  let chord_leaf = float_of_string (List.nth last 1) in
+  Alcotest.(check bool) "crescendo collapses with locality" true
+    (crescendo_leaf < crescendo_top /. 20.0);
+  Alcotest.(check bool) "chord stays flat" true (chord_leaf > chord_top /. 2.0)
+
+let test_fig8_shape () =
+  let t = Fig8.run ~scale:`Quick ~seed in
+  let rows = Table.rows t in
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  let cres_first = float_of_string (List.nth first 1) in
+  let cres_last = float_of_string (List.nth last 1) in
+  Alcotest.(check bool) "overlap rises with domain level" true (cres_last > cres_first +. 0.3);
+  (* latency overlap >= hop overlap on deep domains *)
+  let lat_last = float_of_string (List.nth last 2) in
+  Alcotest.(check bool) "latency overlap above hop overlap" true (lat_last >= cres_last)
+
+let test_fig9_shape () =
+  let t = Fig9.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let ratio = float_of_string (List.nth row 3) in
+      if ratio > 0.5 then Alcotest.fail "crescendo multicast not clearly cheaper")
+    (Table.rows t)
+
+let test_caching_shape () =
+  let t = Caching_bench.run ~scale:`Quick ~seed in
+  List.iter
+    (fun row ->
+      let saving = float_of_string (List.nth row 4) in
+      if saving < 0.2 then Alcotest.fail "caching saves too little")
+    (Table.rows t)
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "fig3 shape" `Slow test_fig3_shape;
+        Alcotest.test_case "fig4 shape" `Slow test_fig4_shape;
+        Alcotest.test_case "fig5 shape" `Slow test_fig5_shape;
+        Alcotest.test_case "theorem bounds" `Slow test_theorems_bounds_hold;
+        Alcotest.test_case "variant parity" `Slow test_variants_parity;
+        Alcotest.test_case "lookahead saving" `Slow test_lookahead_saves;
+        Alcotest.test_case "balance shape" `Slow test_balance_shape;
+        Alcotest.test_case "maintenance shape" `Slow test_maintenance_shape;
+        Alcotest.test_case "isolation shape" `Slow test_isolation_shape;
+        Alcotest.test_case "hybrid shape" `Slow test_hybrid_shape;
+        Alcotest.test_case "prefix-can parity" `Slow test_prefix_can_parity;
+        Alcotest.test_case "fig6 shape" `Slow test_fig6_shape;
+        Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+        Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
+        Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+        Alcotest.test_case "caching shape" `Slow test_caching_shape;
+      ] );
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the graph substrate and the transit-stub topology. *)
+
+open Canon_topology
+module Rng = Canon_rng.Rng
+
+let test_graph_basics () =
+  let g = Graph.create 4 in
+  Alcotest.(check int) "vertices" 4 (Graph.num_vertices g);
+  Alcotest.(check int) "no edges" 0 (Graph.num_edges g);
+  Graph.add_edge g 0 1 5.0;
+  Graph.add_edge g 1 2 7.0;
+  Alcotest.(check int) "edges" 2 (Graph.num_edges g);
+  Alcotest.(check bool) "has edge" true (Graph.has_edge g 0 1);
+  Alcotest.(check bool) "symmetric" true (Graph.has_edge g 1 0);
+  Alcotest.(check bool) "absent" false (Graph.has_edge g 0 2);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 1)
+
+let test_graph_invalid () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      Graph.add_edge g 1 1 1.0);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge") (fun () ->
+      Graph.add_edge g 1 0 2.0);
+  Alcotest.check_raises "bad weight" (Invalid_argument "Graph.add_edge: non-positive weight")
+    (fun () -> Graph.add_edge g 1 2 0.0);
+  Alcotest.check_raises "empty graph" (Invalid_argument "Graph.create: need at least one vertex")
+    (fun () -> ignore (Graph.create 0))
+
+let test_dijkstra_line () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 1.0;
+  Graph.add_edge g 1 2 2.0;
+  Graph.add_edge g 2 3 3.0;
+  let d = Graph.dijkstra g 0 in
+  Alcotest.(check (array (float 1e-9))) "line distances" [| 0.0; 1.0; 3.0; 6.0 |] d
+
+let test_dijkstra_shortcut () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 10.0;
+  Graph.add_edge g 0 2 1.0;
+  Graph.add_edge g 2 1 1.0;
+  let d = Graph.dijkstra g 0 in
+  Alcotest.(check (float 1e-9)) "takes shortcut" 2.0 d.(1)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  let d = Graph.dijkstra g 0 in
+  Alcotest.(check bool) "unreachable" true (d.(2) = infinity);
+  Alcotest.(check bool) "not connected" false (Graph.is_connected g)
+
+let prop_dijkstra_triangle =
+  QCheck.Test.make ~count:50 ~name:"dijkstra satisfies triangle inequality"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 8 + Rng.int_below rng 12 in
+      let g = Graph.create n in
+      (* random connected graph: ring + chords *)
+      for i = 0 to n - 1 do
+        Graph.add_edge g i ((i + 1) mod n) (1.0 +. Rng.float rng)
+      done;
+      for _ = 1 to n do
+        let a = Rng.int_below rng n and b = Rng.int_below rng n in
+        if a <> b && not (Graph.has_edge g a b) then
+          Graph.add_edge g a b (1.0 +. (10.0 *. Rng.float rng))
+      done;
+      let dist = Array.init n (fun v -> Graph.dijkstra g v) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if dist.(a).(b) > dist.(a).(c) +. dist.(c).(b) +. 1e-9 then ok := false
+          done;
+          if Float.abs (dist.(a).(b) -. dist.(b).(a)) > 1e-9 then ok := false
+        done
+      done;
+      !ok)
+
+let ts_fixture = lazy (Transit_stub.generate (Rng.create 5) Transit_stub.default_params)
+
+let test_transit_stub_shape () =
+  let ts = Lazy.force ts_fixture in
+  Alcotest.(check int) "2040 routers" 2040 (Transit_stub.num_routers ts);
+  Alcotest.(check int) "40 transit" 40 (Transit_stub.transit_count ts);
+  Alcotest.(check int) "2000 stubs" 2000 (Array.length (Transit_stub.stub_routers ts));
+  Alcotest.(check bool) "connected" true (Graph.is_connected (Transit_stub.graph ts))
+
+let test_transit_stub_hierarchy () =
+  let ts = Lazy.force ts_fixture in
+  let tree = Transit_stub.hierarchy ts in
+  let module D = Canon_hierarchy.Domain_tree in
+  Alcotest.(check int) "2000 leaves" 2000 (D.num_leaves tree);
+  Alcotest.(check int) "height 4" 4 (D.height tree);
+  (* leaf <-> stub router mapping roundtrips *)
+  Array.iter
+    (fun v ->
+      let leaf = Transit_stub.leaf_of_stub_router ts v in
+      Alcotest.(check int) "roundtrip" v (Transit_stub.stub_router_of_leaf ts leaf))
+    (Transit_stub.stub_routers ts);
+  Alcotest.(check bool) "transit vertex rejected" true
+    (try
+       ignore (Transit_stub.leaf_of_stub_router ts 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_latency_classes () =
+  let ts = Lazy.force ts_fixture in
+  let lat = Latency.create ts in
+  let stubs = Transit_stub.stub_routers ts in
+  (* same stub router: just the two access links *)
+  Alcotest.(check (float 1e-9)) "same stub" 2.0 (Latency.node_latency lat stubs.(0) stubs.(0));
+  (* node latencies are symmetric and positive *)
+  let rng = Rng.create 17 in
+  for _ = 1 to 200 do
+    let a = Rng.pick rng stubs and b = Rng.pick rng stubs in
+    let l1 = Latency.node_latency lat a b and l2 = Latency.node_latency lat b a in
+    Alcotest.(check (float 1e-6)) "symmetric" l1 l2;
+    if l1 < 2.0 then Alcotest.fail "latency below access floor"
+  done;
+  (* stub routers within one stub domain are close (at most a few 5 ms
+     hops plus access links) *)
+  let same_domain_max = ref 0.0 in
+  let params = Transit_stub.params ts in
+  let per_domain = params.Transit_stub.stub_routers_per_domain in
+  for i = 0 to per_domain - 1 do
+    let l = Latency.node_latency lat stubs.(0) stubs.(i) in
+    if l > !same_domain_max then same_domain_max := l
+  done;
+  Alcotest.(check bool) "same stub domain cheap" true
+    (!same_domain_max <= 2.0 +. (5.0 *. Float.of_int per_domain));
+  (* mean latency across the whole internet is dominated by transit links *)
+  let mean = Latency.mean_node_latency lat (Rng.create 23) ~samples:2000 in
+  Alcotest.(check bool) "mean in plausible band" true (mean > 100.0 && mean < 1500.0)
+
+let test_custom_params () =
+  let params =
+    {
+      Transit_stub.default_params with
+      Transit_stub.transit_domains = 2;
+      transit_nodes_per_domain = 2;
+      stub_domains_per_transit_node = 2;
+      stub_routers_per_domain = 3;
+    }
+  in
+  let ts = Transit_stub.generate (Rng.create 7) params in
+  Alcotest.(check int) "routers" (4 + 24) (Transit_stub.num_routers ts);
+  Alcotest.(check bool) "connected" true (Graph.is_connected (Transit_stub.graph ts))
+
+let suites =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "graph basics" `Quick test_graph_basics;
+        Alcotest.test_case "graph invalid" `Quick test_graph_invalid;
+        Alcotest.test_case "dijkstra line" `Quick test_dijkstra_line;
+        Alcotest.test_case "dijkstra shortcut" `Quick test_dijkstra_shortcut;
+        Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+        QCheck_alcotest.to_alcotest prop_dijkstra_triangle;
+        Alcotest.test_case "transit-stub shape" `Quick test_transit_stub_shape;
+        Alcotest.test_case "transit-stub hierarchy" `Quick test_transit_stub_hierarchy;
+        Alcotest.test_case "latency classes" `Slow test_latency_classes;
+        Alcotest.test_case "custom params" `Quick test_custom_params;
+      ] );
+  ]
