@@ -5,29 +5,25 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- fig3 fig5    # selected experiments
+     dune exec bench/main.exe -- --json BENCH.json   # machine-readable export
      CANON_SCALE=quick dune exec bench/main.exe   # reduced sizes
 
    Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 theorems variants
    lookahead balance maintenance caching isolation hybrid prefixcan
-   skipnet micro. *)
+   skipnet micro.
+
+   Every run ends with a manifest (seed, scale, git revision, wall time
+   per experiment) so pasted outputs are self-identifying; --json FILE
+   writes the same manifest, every table, and the telemetry metrics
+   registry as one JSON document — the perf-trajectory record compared
+   across commits. *)
 
 open Canon_experiments
 module Table = Canon_stats.Table
+module Json = Canon_telemetry.Json
+module Report = Canon_telemetry.Report
 
 let seed = 42
-
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  Printf.printf "[%s finished in %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0);
-  result
-
-let run_table name build =
-  ( name,
-    fun scale ->
-      let table = timed name (fun () -> build ~scale ~seed) in
-      Table.print table;
-      print_newline () )
 
 (* --- Bechamel micro-benchmarks ------------------------------------ *)
 
@@ -84,47 +80,137 @@ let micro_benchmarks () =
       | Some (est :: _) -> Table.add_row table [ name; Printf.sprintf "%.1f" est ]
       | Some [] | None -> Table.add_row table [ name; "n/a" ])
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
-  Table.print table;
-  print_newline ()
+  table
 
 let experiments =
   [
-    run_table "fig3" Fig3.run;
-    run_table "fig4" Fig4.run;
-    run_table "fig5" Fig5.run;
-    run_table "fig6" Fig6.run;
-    run_table "fig7" Fig7.run;
-    run_table "fig8" Fig8.run;
-    run_table "fig9" Fig9.run;
-    run_table "theorems" Theorems.run;
-    run_table "variants" Variants.run;
-    run_table "lookahead" Lookahead_bench.run;
-    run_table "balance" Balance_bench.run;
-    run_table "maintenance" Maintenance_bench.run;
-    run_table "caching" Caching_bench.run;
-    run_table "isolation" Isolation.run;
-    run_table "hybrid" Hybrid_bench.run;
-    run_table "prefixcan" Prefix_can_bench.run;
-    run_table "skipnet" Skipnet_bench.run;
-    ("micro", fun _scale -> timed "micro" micro_benchmarks);
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("theorems", Theorems.run);
+    ("variants", Variants.run);
+    ("lookahead", Lookahead_bench.run);
+    ("balance", Balance_bench.run);
+    ("maintenance", Maintenance_bench.run);
+    ("caching", Caching_bench.run);
+    ("isolation", Isolation.run);
+    ("hybrid", Hybrid_bench.run);
+    ("prefixcan", Prefix_can_bench.run);
+    ("skipnet", Skipnet_bench.run);
+    ("micro", fun ~scale:_ ~seed:_ -> micro_benchmarks ());
   ]
+
+(* --- run manifest -------------------------------------------------- *)
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let manifest_table ~scale ~git ~timings ~total =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Run manifest (seed %d, scale %s, git %s)" seed
+           (match scale with `Paper -> "paper" | `Quick -> "quick")
+           git)
+      ~columns:[ "experiment"; "seconds" ]
+  in
+  List.iter
+    (fun (name, secs) -> Table.add_row t [ name; Printf.sprintf "%.1f" secs ])
+    timings;
+  Table.add_row t [ "total"; Printf.sprintf "%.1f" total ];
+  t
+
+let manifest_json ~scale ~git ~timings ~total =
+  Json.Obj
+    [
+      ("seed", Json.Int seed);
+      ("scale", Json.String (match scale with `Paper -> "paper" | `Quick -> "quick"));
+      ("git", Json.String git);
+      ("total_seconds", Json.Float total);
+      ( "experiments",
+        Json.List
+          (List.map
+             (fun (name, secs) ->
+               Json.Obj [ ("name", Json.String name); ("seconds", Json.Float secs) ])
+             timings) );
+    ]
 
 let () =
   let scale = Common.scale_of_env () in
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let json_file = ref None in
+  let requested = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires a file argument";
+        exit 1
+    | name :: rest ->
+        requested := name :: !requested;
+        parse rest
   in
-  Printf.printf "Canon benchmark harness (scale: %s, seed: %d)\n\n%!"
-    (match scale with `Paper -> "paper" | `Quick -> "quick")
-    seed;
+  parse (List.tl (Array.to_list Sys.argv));
+  let requested =
+    match List.rev !requested with [] -> List.map fst experiments | names -> names
+  in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run -> run scale
-      | None ->
-          Printf.eprintf "unknown experiment %S; known: %s\n" name
-            (String.concat " " (List.map fst experiments));
+      if not (List.mem_assoc name experiments) then begin
+        Printf.eprintf "unknown experiment %S; known: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 1
+      end)
+    requested;
+  let git = git_describe () in
+  Printf.printf "Canon benchmark harness (scale: %s, seed: %d, git: %s)\n\n%!"
+    (match scale with `Paper -> "paper" | `Quick -> "quick")
+    seed git;
+  let t_start = Unix.gettimeofday () in
+  let timings = ref [] and tables = ref [] in
+  List.iter
+    (fun name ->
+      let build = List.assoc name experiments in
+      let t0 = Unix.gettimeofday () in
+      let table = build ~scale ~seed in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "[%s finished in %.1f s]\n\n%!" name dt;
+      Table.print table;
+      print_newline ();
+      timings := (name, dt) :: !timings;
+      tables := table :: !tables)
+    requested;
+  let total = Unix.gettimeofday () -. t_start in
+  let timings = List.rev !timings and tables = List.rev !tables in
+  Table.print (manifest_table ~scale ~git ~timings ~total);
+  match !json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        Json.Obj
+          [
+            ("manifest", manifest_json ~scale ~git ~timings ~total);
+            ("tables", Json.List (List.map Report.table_json tables));
+            ("metrics", Report.metrics_json ());
+          ]
+      in
+      (match open_out file with
+      | oc ->
+          output_string oc (Json.to_string doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "\n[wrote %s]\n" file
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write %s: %s\n" file msg;
           exit 1)
-    requested

@@ -5,6 +5,7 @@
 
 open Cmdliner
 module Table = Canon_stats.Table
+module Telemetry = Canon_telemetry
 open Canon_experiments
 
 let seed_arg =
@@ -15,15 +16,59 @@ let quick_arg =
   let doc = "Run at reduced scale (fast; same qualitative shapes)." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write one JSON span per measured lookup to $(docv) (JSONL). Each span records \
+     the visited path, the hierarchy level of every link used, the outcome, and \
+     cumulative physical latency when the experiment has a latency model."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let sample_arg =
+  let doc = "With --trace: keep every $(docv)-th lookup only (default 1 = all)." in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"K" ~doc)
+
+let metrics_arg =
+  let doc = "Print the telemetry metrics registry after the experiment." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let scale_of quick = if quick then `Quick else Common.scale_of_env ()
 
-let run_experiment build quick seed =
-  let table = build ~scale:(scale_of quick) ~seed in
-  Table.print table;
-  `Ok ()
+let run_experiment build quick seed trace_file sample_every metrics =
+  if sample_every < 1 then `Error (false, "--trace-sample must be >= 1")
+  else begin
+    match
+      Option.map
+        (fun file ->
+          Telemetry.Trace.create ~sample_every ~sink:(Telemetry.Sink.jsonl_file file) ())
+        trace_file
+    with
+    | exception Sys_error msg -> `Error (false, "cannot open trace file: " ^ msg)
+    | trace ->
+    Telemetry.Trace.set_ambient trace;
+    let finally () =
+      Telemetry.Trace.set_ambient None;
+      Option.iter Telemetry.Trace.flush trace
+    in
+    Fun.protect ~finally (fun () ->
+        let table = build ~scale:(scale_of quick) ~seed in
+        Table.print table);
+    Option.iter
+      (fun tr ->
+        Printf.printf "[trace: %d lookups seen, %d spans written]\n"
+          (Telemetry.Trace.seen tr) (Telemetry.Trace.emitted tr))
+      trace;
+    if metrics then Table.print (Telemetry.Report.table ());
+    `Ok ()
+  end
 
 let experiment_cmd name ~doc build =
-  let term = Term.(ret (const (run_experiment build) $ quick_arg $ seed_arg)) in
+  let term =
+    Term.(
+      ret
+        (const (run_experiment build)
+        $ quick_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 let commands =
@@ -70,6 +115,10 @@ let default =
          flat baselines, a transit-stub internet model, hierarchical storage and caching, \
          partition balancing, and a churn simulator.";
       `P "Use $(b,CANON_SCALE=quick) or $(b,--quick) for fast reduced-scale runs.";
+      `P
+        "Every subcommand accepts $(b,--trace FILE) (per-lookup JSONL spans), \
+         $(b,--trace-sample K) (sampling), and $(b,--metrics) (print the telemetry \
+         registry: counters, gauges, and latency histograms with p50/p95/p99).";
     ]
   in
   Cmd.group (Cmd.info "canon" ~version:"1.0.0" ~doc ~man) commands

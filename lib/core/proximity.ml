@@ -175,7 +175,14 @@ let route t ~src ~dst =
       let rec go u acc hops =
         if u = dst then Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
         else if hops >= max_hops then
-          raise (Router.Stuck { at = u; key = Overlay.id ov dst; hops })
+          raise
+            (Router.Stuck
+               {
+                 at = u;
+                 key = Overlay.id ov dst;
+                 hops;
+                 path = Array.of_list (List.rev (u :: acc));
+               })
         else if group u = dst_group then
           (* Intra-group clique: one hop to the destination. *)
           go dst (u :: acc) (hops + 1)
@@ -192,7 +199,15 @@ let route t ~src ~dst =
                 best_remaining := dv
               end)
             (Overlay.links ov u);
-          if !best < 0 then raise (Router.Stuck { at = u; key = Overlay.id ov dst; hops })
+          if !best < 0 then
+            raise
+              (Router.Stuck
+                 {
+                   at = u;
+                   key = Overlay.id ov dst;
+                   hops;
+                   path = Array.of_list (List.rev (u :: acc));
+                 })
           else go !best (u :: acc) (hops + 1)
         end
       in

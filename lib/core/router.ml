@@ -1,11 +1,38 @@
 open Canon_idspace
+open Canon_hierarchy
 open Canon_overlay
+module Span = Canon_telemetry.Span
+module Trace = Canon_telemetry.Trace
 
-exception Stuck of { at : int; key : Id.t; hops : int }
+exception Stuck of { at : int; key : Id.t; hops : int; path : int array }
 
 (* A generous hop budget: any genuine route is O(log n); if we exceed
    the node count something is structurally wrong. *)
 let budget overlay = Overlay.size overlay + 1
+
+let stuck u acc key hops =
+  Stuck { at = u; key; hops; path = Array.of_list (List.rev (u :: acc)) }
+
+(* Hierarchy level of a link: depth of the lowest common ancestor
+   domain of its endpoints — 0 for a top-level link, deeper is more
+   local. This is the level a span records for each hop. *)
+let level_of_edge overlay =
+  let pop = Overlay.population overlay in
+  let tree = pop.Population.tree in
+  fun u v -> Domain_tree.depth tree (Population.lca_of_nodes pop u v)
+
+(* Run one routing thunk under a trace: emit an Arrived span for the
+   returned route, or a Stuck span for the partial path before
+   re-raising. Engines only call this on the [Some trace] branch, so
+   the untraced path pays one match and nothing else. *)
+let traced tr ~kind ~key ~level run =
+  match run () with
+  | route ->
+      Trace.record tr ~kind ~key ~outcome:Span.Arrived ~nodes:route.Route.nodes ~level ();
+      route
+  | exception (Stuck { path; _ } as e) ->
+      Trace.record tr ~kind ~key ~outcome:Span.Stuck ~nodes:path ~level ();
+      raise e
 
 let collect overlay src step key =
   let max_hops = budget overlay in
@@ -13,7 +40,7 @@ let collect overlay src step key =
     match step u with
     | None -> Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
     | Some v ->
-        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        if hops >= max_hops then raise (stuck u acc key hops);
         go v (u :: acc) (hops + 1)
   in
   go src [] 0
@@ -24,12 +51,12 @@ let collect_generic ~n src step key =
     match step u with
     | None -> Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
     | Some v ->
-        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        if hops >= max_hops then raise (stuck u acc key hops);
         go v (u :: acc) (hops + 1)
   in
   go src [] 0
 
-let greedy_clockwise_generic ~n ~id ~links ~src ~key =
+let greedy_clockwise_generic ?trace ?(level = fun _ _ -> 0) ~n ~id ~links ~src ~key () =
   let step u =
     let du = Id.distance (id u) key in
     if du = 0 then None
@@ -49,15 +76,27 @@ let greedy_clockwise_generic ~n ~id ~links ~src ~key =
       if !best < 0 then None else Some !best
     end
   in
-  collect_generic ~n src step key
+  match trace with
+  | None -> collect_generic ~n src step key
+  | Some tr ->
+      traced tr ~kind:"greedy_clockwise_generic" ~key ~level (fun () ->
+          collect_generic ~n src step key)
 
-let greedy_clockwise overlay ~src ~key =
-  greedy_clockwise_generic ~n:(Overlay.size overlay)
-    ~id:(Overlay.id overlay)
-    ~links:(Overlay.links overlay)
-    ~src ~key
+let greedy_clockwise ?trace overlay ~src ~key =
+  match trace with
+  | None ->
+      greedy_clockwise_generic ~n:(Overlay.size overlay)
+        ~id:(Overlay.id overlay)
+        ~links:(Overlay.links overlay)
+        ~src ~key ()
+  | Some tr ->
+      traced tr ~kind:"greedy_clockwise" ~key ~level:(level_of_edge overlay) (fun () ->
+          greedy_clockwise_generic ~n:(Overlay.size overlay)
+            ~id:(Overlay.id overlay)
+            ~links:(Overlay.links overlay)
+            ~src ~key ())
 
-let greedy_clockwise_lookahead overlay ~src ~key =
+let greedy_clockwise_lookahead ?trace overlay ~src ~key =
   let step u =
     let du = Id.distance (Overlay.id overlay u) key in
     if du = 0 then None
@@ -92,9 +131,13 @@ let greedy_clockwise_lookahead overlay ~src ~key =
       if !best < 0 then None else Some !best
     end
   in
-  collect overlay src step key
+  match trace with
+  | None -> collect overlay src step key
+  | Some tr ->
+      traced tr ~kind:"greedy_clockwise_lookahead" ~key ~level:(level_of_edge overlay)
+        (fun () -> collect overlay src step key)
 
-let greedy_xor overlay ~src ~key =
+let greedy_xor ?trace overlay ~src ~key =
   let step u =
     let du = Id.xor_distance (Overlay.id overlay u) key in
     if du = 0 then None
@@ -111,9 +154,13 @@ let greedy_xor overlay ~src ~key =
       if !best < 0 then None else Some !best
     end
   in
-  collect overlay src step key
+  match trace with
+  | None -> collect overlay src step key
+  | Some tr ->
+      traced tr ~kind:"greedy_xor" ~key ~level:(level_of_edge overlay) (fun () ->
+          collect overlay src step key)
 
-let greedy_clockwise_avoiding overlay ~dead ~src ~key =
+let greedy_clockwise_avoiding ?trace overlay ~dead ~src ~key =
   if dead src then invalid_arg "Router.greedy_clockwise_avoiding: dead source";
   let max_hops = budget overlay in
   let step u =
@@ -136,6 +183,13 @@ let greedy_clockwise_avoiding overlay ~dead ~src ~key =
       if !best < 0 then None else Some !best
     end
   in
+  let record outcome nodes =
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Trace.record tr ~kind:"greedy_clockwise_avoiding" ~key ~outcome ~nodes
+          ~level:(level_of_edge overlay) ()
+  in
   (* Unlike the infallible engines we must distinguish "arrived at the
      key's live predecessor among reachable nodes" from "stranded":
      stranded means a live link toward the key exists somewhere but this
@@ -144,7 +198,11 @@ let greedy_clockwise_avoiding overlay ~dead ~src ~key =
   let rec go u acc hops =
     match step u with
     | Some v ->
-        if hops >= max_hops then raise (Stuck { at = u; key; hops });
+        if hops >= max_hops then begin
+          let path = Array.of_list (List.rev (u :: acc)) in
+          record Span.Stuck path;
+          raise (Stuck { at = u; key; hops; path })
+        end;
         go v (u :: acc) (hops + 1)
     | None ->
         let du = Id.distance (Overlay.id overlay u) key in
@@ -156,6 +214,14 @@ let greedy_clockwise_avoiding overlay ~dead ~src ~key =
                  && Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du)
                (Overlay.links overlay u)
         in
-        if blocked then None else Some Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
+        let nodes = Array.of_list (List.rev (u :: acc)) in
+        if blocked then begin
+          record Span.Stranded nodes;
+          None
+        end
+        else begin
+          record Span.Arrived nodes;
+          Some Route.{ nodes }
+        end
   in
   go src [] 0

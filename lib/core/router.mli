@@ -17,44 +17,86 @@
     - {!greedy_xor}: Kademlia/Kandy/CAN/Can-Can bit-fixing: each hop
       must strictly decrease the XOR distance to the key; terminates at
       a local minimum (the key's owner when the adjacency is a valid
-      hypercube structure). *)
+      hypercube structure).
+
+    {2 Tracing}
+
+    Every engine takes an optional [?trace] collector
+    ({!Canon_telemetry.Trace.t}). When absent — the default — the
+    engine behaves exactly as before and allocates nothing for
+    telemetry; when present, one {!Canon_telemetry.Span} is offered to
+    the collector per lookup (subject to the collector's sampling),
+    carrying the full visited path, the hierarchy level of each link
+    used (depth of the LCA domain of its endpoints), and cumulative
+    physical latency when the collector holds a latency oracle. Routes
+    that exceed the hop budget emit a [Stuck] span with the partial
+    path before the exception propagates; {!greedy_clockwise_avoiding}
+    additionally emits [Stranded] spans for lookups that die at a node
+    with no live useful link. *)
 
 open Canon_idspace
 open Canon_overlay
 
-exception Stuck of { at : int; key : Id.t; hops : int }
+exception
+  Stuck of {
+    at : int;
+    key : Id.t;
+    hops : int;
+    path : int array;  (** nodes visited so far, source first, [at] last *)
+  }
 (** Raised when a route exceeds the hop budget — always a construction
-    bug, never expected on a well-formed overlay. *)
+    bug, never expected on a well-formed overlay. The partial path
+    makes the broken route dumpable (and traceable) instead of lost. *)
 
-val greedy_clockwise : Overlay.t -> src:int -> key:Id.t -> Route.t
+val greedy_clockwise :
+  ?trace:Canon_telemetry.Trace.t -> Overlay.t -> src:int -> key:Id.t -> Route.t
 (** Route from [src] toward [key]; the path ends at the first node
     having no link that moves clockwise-closer to [key] without passing
     it. On any overlay whose every node links to its global successor,
     that final node is the global predecessor of [key]. *)
 
 val greedy_clockwise_generic :
+  ?trace:Canon_telemetry.Trace.t ->
+  ?level:(int -> int -> int) ->
   n:int ->
   id:(int -> Id.t) ->
   links:(int -> int array) ->
   src:int ->
   key:Id.t ->
+  unit ->
   Route.t
 (** The same engine over any adjacency (used by the dynamic-maintenance
-    simulator, whose link state is mutable). [n] bounds the hop budget. *)
+    simulator, whose link state is mutable). [n] bounds the hop budget.
+    Traced spans use [level] for per-hop link levels (default: 0 for
+    every edge — no hierarchy known). The trailing [unit] erases the
+    optional arguments. *)
 
-val greedy_clockwise_lookahead : Overlay.t -> src:int -> key:Id.t -> Route.t
+val greedy_clockwise_lookahead :
+  ?trace:Canon_telemetry.Trace.t -> Overlay.t -> src:int -> key:Id.t -> Route.t
 (** Same termination behaviour as {!greedy_clockwise} but each step
     picks the neighbour whose own best next step lands closest to the
     key (Symphony's "greedy routing with a lookahead"). *)
 
-val greedy_xor : Overlay.t -> src:int -> key:Id.t -> Route.t
+val greedy_xor :
+  ?trace:Canon_telemetry.Trace.t -> Overlay.t -> src:int -> key:Id.t -> Route.t
 (** Route by strictly decreasing XOR distance; ends where no link
     improves. *)
 
 val greedy_clockwise_avoiding :
-  Overlay.t -> dead:(int -> bool) -> src:int -> key:Id.t -> Route.t option
+  ?trace:Canon_telemetry.Trace.t ->
+  Overlay.t ->
+  dead:(int -> bool) ->
+  src:int ->
+  key:Id.t ->
+  Route.t option
 (** Greedy clockwise routing that never forwards to a node for which
     [dead] is true (crashed, unrepaired). Returns [None] when the
     message strands at a node whose every useful link is dead — the
     quantity the fault-isolation experiment measures. [src] must be
     alive. *)
+
+val level_of_edge : Overlay.t -> int -> int -> int
+(** [level_of_edge overlay u v] is the hierarchy depth of the link
+    (u, v): the depth of the lowest common ancestor domain of the two
+    endpoints (0 = top-level link). Exposed for instrumentation built
+    outside this module. *)

@@ -74,7 +74,10 @@ let route_by_name t ~src ~dst =
   let max_hops = size t + 1 in
   let rec go u acc hops =
     if u = dst then Route.{ nodes = Array.of_list (List.rev (u :: acc)) }
-    else if hops >= max_hops then raise (Router.Stuck { at = u; key = target; hops })
+    else if hops >= max_hops then
+      raise
+        (Router.Stuck
+           { at = u; key = target; hops; path = Array.of_list (List.rev (u :: acc)) })
     else begin
       let ru = t.rank_of_node.(u) in
       (* Best monotone step toward the target rank over all levels. *)
@@ -92,7 +95,10 @@ let route_by_name t ~src ~dst =
             best_dist := abs (target - rc)
           end)
         t.pointers.(u);
-      if !best = u then raise (Router.Stuck { at = u; key = target; hops })
+      if !best = u then
+        raise
+          (Router.Stuck
+             { at = u; key = target; hops; path = Array.of_list (List.rev (u :: acc)) })
       else go !best (u :: acc) (hops + 1)
     end
   in

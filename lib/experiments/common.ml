@@ -57,21 +57,46 @@ let node_latency setup pop =
   | None -> invalid_arg "Common.node_latency: population has no attachment points"
   | Some attach -> fun a b -> Latency.node_latency setup.latency attach.(a) attach.(b)
 
+module Metrics = Canon_telemetry.Metrics
+module Trace = Canon_telemetry.Trace
+
+(* Every measured lookup of the experiment helpers feeds the registry,
+   so `--metrics` has something to print for any experiment; spans flow
+   to the ambient trace when the CLI installed one (`--trace FILE`). *)
+let lookups_counter = Metrics.counter "router.lookups"
+
+let hops_hist =
+  Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 64.0 |]
+    "router.hops"
+
+let route_latency_hist = Metrics.histogram "router.route_latency_ms"
+
 let mean_hops rng overlay ~samples =
   let n = Overlay.size overlay in
+  let trace = Trace.ambient () in
   let total = ref 0 in
   for _ = 1 to samples do
     let src = Rng.int_below rng n and dst = Rng.int_below rng n in
-    total := !total + Route.hops (Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst))
+    let route = Router.greedy_clockwise ?trace overlay ~src ~key:(Overlay.id overlay dst) in
+    let hops = Route.hops route in
+    Metrics.incr lookups_counter;
+    Metrics.observe hops_hist (Float.of_int hops);
+    total := !total + hops
   done;
   Float.of_int !total /. Float.of_int samples
 
 let mean_route_latency rng overlay ~node_latency ~samples =
   let n = Overlay.size overlay in
+  let trace = Trace.ambient () in
+  Option.iter (fun tr -> Trace.set_latency tr (Some node_latency)) trace;
   let total = ref 0.0 in
   for _ = 1 to samples do
     let src = Rng.int_below rng n and dst = Rng.int_below rng n in
-    let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
-    total := !total +. Route.latency route ~node_latency
+    let route = Router.greedy_clockwise ?trace overlay ~src ~key:(Overlay.id overlay dst) in
+    let lat = Route.latency route ~node_latency in
+    Metrics.incr lookups_counter;
+    Metrics.observe hops_hist (Float.of_int (Route.hops route));
+    Metrics.observe route_latency_hist lat;
+    total := !total +. lat
   done;
   !total /. Float.of_int samples

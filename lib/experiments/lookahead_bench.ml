@@ -5,10 +5,11 @@ module Table = Canon_stats.Table
 
 let mean_hops_with router rng overlay ~samples =
   let n = Overlay.size overlay in
+  let trace = Canon_telemetry.Trace.ambient () in
   let total = ref 0 in
   for _ = 1 to samples do
     let src = Rng.int_below rng n and dst = Rng.int_below rng n in
-    total := !total + Route.hops (router overlay ~src ~key:(Overlay.id overlay dst))
+    total := !total + Route.hops (router ?trace overlay ~src ~key:(Overlay.id overlay dst))
   done;
   Float.of_int !total /. Float.of_int samples
 

@@ -1,6 +1,17 @@
 open Canon_overlay
 open Canon_core
 module Rng = Canon_rng.Rng
+module Metrics = Canon_telemetry.Metrics
+
+let joins_counter = Metrics.counter "sim.joins"
+
+let leaves_counter = Metrics.counter "sim.leaves"
+
+let probes_counter = Metrics.counter "sim.probes"
+
+let failed_probes_counter = Metrics.counter "sim.failed_probes"
+
+let probe_hops_hist = Metrics.histogram "sim.probe_hops"
 
 type config = {
   initial_nodes : int;
@@ -60,15 +71,25 @@ let run rng pop config =
     let live = Maintenance.present m in
     if Array.length live >= 2 then begin
       incr probes;
+      Metrics.incr probes_counter;
       let src = Rng.pick rng live and dst = Rng.pick rng live in
       let route =
-        Router.greedy_clockwise_generic ~n
+        Router.greedy_clockwise_generic
+          ?trace:(Canon_telemetry.Trace.ambient ())
+          ~level:(fun u v ->
+            Canon_hierarchy.Domain_tree.depth pop.Population.tree
+              (Population.lca_of_nodes pop u v))
+          ~n
           ~id:(fun v -> pop.Population.ids.(v))
           ~links:(fun v -> if Maintenance.is_present m v then Maintenance.links m v else [||])
           ~src
-          ~key:pop.Population.ids.(dst)
+          ~key:pop.Population.ids.(dst) ()
       in
-      if Canon_overlay.Route.destination route <> dst then incr failed
+      Metrics.observe probe_hops_hist (Float.of_int (Canon_overlay.Route.hops route));
+      if Canon_overlay.Route.destination route <> dst then begin
+        incr failed;
+        Metrics.incr failed_probes_counter
+      end
     end
   in
   let rec drain () =
@@ -84,7 +105,8 @@ let run rng pop config =
                 waiting := rest;
                 let stats = Maintenance.join m node in
                 join_msgs := !join_msgs + Maintenance.total stats;
-                incr joins)
+                incr joins;
+                Metrics.incr joins_counter)
         | Departure ->
             let live = Maintenance.present m in
             (* Keep a quorum so probes stay meaningful. *)
@@ -92,7 +114,8 @@ let run rng pop config =
               let node = Rng.pick rng live in
               let stats = Maintenance.leave m node in
               leave_msgs := !leave_msgs + Maintenance.total stats;
-              incr leaves
+              incr leaves;
+              Metrics.incr leaves_counter
             end);
         for _ = 1 to config.probes_per_event do
           probe ()

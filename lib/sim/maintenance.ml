@@ -1,6 +1,13 @@
 open Canon_idspace
 open Canon_overlay
 open Canon_core
+module Metrics = Canon_telemetry.Metrics
+
+(* Message-cost histograms: the simulator's time unit is messages, so
+   these are the "repair latency" of the maintenance protocol. *)
+let join_messages_hist = Metrics.histogram "sim.join_messages"
+
+let repair_messages_hist = Metrics.histogram "sim.repair_messages_per_node"
 
 type t = {
   pop : Population.t;
@@ -132,10 +139,15 @@ let join t m =
     | None -> 0
     | Some b ->
         let route =
-          Router.greedy_clockwise_generic ~n
+          Router.greedy_clockwise_generic
+            ?trace:(Canon_telemetry.Trace.ambient ())
+            ~level:(fun u v ->
+              Canon_hierarchy.Domain_tree.depth t.pop.Population.tree
+                (Population.lca_of_nodes t.pop u v))
+            ~n
             ~id:(fun v -> t.pop.Population.ids.(v))
             ~links:(fun v -> t.links.(v))
-            ~src:b ~key:id_m
+            ~src:b ~key:id_m ()
         in
         Route.hops route
   in
@@ -146,7 +158,9 @@ let join t m =
   let candidates = Hashtbl.create 64 in
   finger_candidates t m ~into:candidates;
   let notify_messages = refresh_candidates t candidates in
-  { routing_messages; link_messages = Array.length my_links; notify_messages }
+  let stats = { routing_messages; link_messages = Array.length my_links; notify_messages } in
+  Metrics.observe join_messages_hist (Float.of_int (total stats));
+  stats
 
 let crash t m =
   if not t.present.(m) then invalid_arg "Maintenance.crash: node not present";
@@ -177,7 +191,13 @@ let repair t =
     stale;
   (* Clear dangling reverse entries of crashed nodes. *)
   Array.iteri (fun v present -> if not present then Hashtbl.reset t.in_links.(v)) t.present;
-  { routing_messages = 0; link_messages = !link_messages; notify_messages = Array.length stale }
+  let stats =
+    { routing_messages = 0; link_messages = !link_messages; notify_messages = Array.length stale }
+  in
+  if Array.length stale > 0 then
+    Metrics.observe repair_messages_hist
+      (Float.of_int (total stats) /. Float.of_int (Array.length stale));
+  stats
 
 let leave t m =
   if not t.present.(m) then invalid_arg "Maintenance.leave: node not present";

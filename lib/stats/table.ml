@@ -14,6 +14,8 @@ let add_row t cells =
 let add_float_row t label xs =
   add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
 
+let title t = t.title
+
 let columns t = t.columns
 
 let rows t = List.rev t.rows

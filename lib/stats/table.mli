@@ -15,6 +15,9 @@ val add_float_row : t -> string -> float list -> unit
 (** [add_float_row t label xs] renders [label] followed by each float
     with 3 decimal places. [1 + length xs] must equal the column count. *)
 
+val title : t -> string
+(** The title as given to {!create} (used by the JSON export). *)
+
 val columns : t -> string list
 (** The header row. *)
 

@@ -2,6 +2,24 @@ open Canon_idspace
 open Canon_hierarchy
 open Canon_overlay
 open Canon_core
+module Metrics = Canon_telemetry.Metrics
+
+(* Hit counters keyed by the level annotation of the copy served: a
+   hit at level k answered from the proxy of a depth-k domain. The
+   registry get-or-create is a hash lookup, so memoise per level. *)
+let hit_counter =
+  let table = Hashtbl.create 8 in
+  fun level ->
+    match Hashtbl.find_opt table level with
+    | Some c -> c
+    | None ->
+        let c = Metrics.counter (Printf.sprintf "cache.hit.level%d" level) in
+        Hashtbl.replace table level c;
+        c
+
+let miss_counter = Metrics.counter "cache.miss"
+
+let unanswered_counter = Metrics.counter "cache.unanswered"
 
 type entry = {
   value : string;
@@ -85,22 +103,30 @@ let cache_hit t ~querier ~key node =
 let query t store overlay ~querier ~key =
   let pop = Rings.population t.rings in
   let tree = pop.Population.tree in
-  let route = Router.greedy_clockwise overlay ~src:querier ~key in
+  let route =
+    Router.greedy_clockwise ?trace:(Canon_telemetry.Trace.ambient ()) overlay ~src:querier ~key
+  in
   let nodes = route.Route.nodes in
   let rec find i =
     if i >= Array.length nodes then None
     else begin
       let node = nodes.(i) in
       match cache_hit t ~querier ~key node with
-      | Some entry -> Some (i, entry.value, entry.access_domain, true)
+      | Some entry ->
+          Metrics.incr (hit_counter entry.level);
+          Some (i, entry.value, entry.access_domain, true)
       | None -> (
           match Store.probe store ~querier ~key ~node with
-          | Some (value, access_domain) -> Some (i, value, access_domain, false)
+          | Some (value, access_domain) ->
+              Metrics.incr miss_counter;
+              Some (i, value, access_domain, false)
           | None -> find (i + 1))
     end
   in
   match find 0 with
-  | None -> None
+  | None ->
+      Metrics.incr unanswered_counter;
+      None
   | Some (i, value, access_domain, from_cache) ->
       let found_at = nodes.(i) in
       let path = Route.{ nodes = Array.sub nodes 0 (i + 1) } in

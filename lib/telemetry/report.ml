@@ -1,0 +1,75 @@
+module Table = Canon_stats.Table
+
+let f3 = Printf.sprintf "%.3f"
+
+let table () =
+  let snap = Metrics.snapshot () in
+  let t =
+    Table.create ~title:"Telemetry metrics"
+      ~columns:[ "metric"; "kind"; "count"; "value"; "p50"; "p95"; "p99" ]
+  in
+  List.iter
+    (fun (name, v) ->
+      Table.add_row t [ name; "counter"; string_of_int v; "-"; "-"; "-"; "-" ])
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) -> Table.add_row t [ name; "gauge"; "-"; f3 v; "-"; "-"; "-" ])
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, h) ->
+      let open Metrics in
+      let mean = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.h_count in
+      Table.add_row t
+        [
+          name; "histogram"; string_of_int h.h_count; f3 mean; f3 h.p50; f3 h.p95; f3 h.p99;
+        ])
+    snap.Metrics.histograms;
+  t
+
+let histogram_json (h : Metrics.histogram_snapshot) =
+  let buckets =
+    List.init
+      (Array.length h.bucket_counts)
+      (fun i ->
+        let le =
+          if i < Array.length h.bucket_bounds then Json.Float h.bucket_bounds.(i)
+          else Json.Null
+        in
+        Json.Obj [ ("le", le); ("count", Json.Int h.bucket_counts.(i)) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", Json.Float h.h_min);
+      ("max", Json.Float h.h_max);
+      ("p50", Json.Float h.p50);
+      ("p95", Json.Float h.p95);
+      ("p99", Json.Float h.p99);
+      ("buckets", Json.List buckets);
+    ]
+
+let metrics_json () =
+  let snap = Metrics.snapshot () in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) snap.Metrics.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) snap.Metrics.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (name, h) -> (name, histogram_json h)) snap.Metrics.histograms) );
+    ]
+
+let table_json t =
+  Json.Obj
+    [
+      ("title", Json.String (Table.title t));
+      ("columns", Json.List (List.map (fun c -> Json.String c) (Table.columns t)));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map (fun cell -> Json.String cell) row))
+             (Table.rows t)) );
+    ]

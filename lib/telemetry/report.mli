@@ -1,0 +1,18 @@
+(** Rendering the metrics registry — as a {!Canon_stats.Table} for the
+    CLI's [--metrics] flag, and as JSON for the benchmark harness's
+    machine-readable [BENCH.json] export. *)
+
+val table : unit -> Canon_stats.Table.t
+(** One row per registered metric, sorted by name (counters, then
+    gauges, then histograms). Histogram rows carry count, mean, and
+    p50/p95/p99; inapplicable cells are ["-"]. *)
+
+val metrics_json : unit -> Json.t
+(** The full registry:
+    [{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
+    sum, min, max, p50, p95, p99, buckets: [{le, count}, …]}, …}}].
+    The last bucket has ["le": null] (overflow). *)
+
+val table_json : Canon_stats.Table.t -> Json.t
+(** [{"title": …, "columns": […], "rows": [[…], …]}] — every cell as
+    its rendered string, exactly as printed. *)

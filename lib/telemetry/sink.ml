@@ -1,0 +1,35 @@
+type target =
+  | Null
+  | Memory of string list ref  (* reversed *)
+  | File of out_channel
+
+type t = { target : target; mutable written : int; mutable closed : bool }
+
+let null = { target = Null; written = 0; closed = false }
+
+let memory () = { target = Memory (ref []); written = 0; closed = false }
+
+let jsonl_file path = { target = File (open_out path); written = 0; closed = false }
+
+let write t line =
+  if not t.closed then begin
+    (match t.target with
+    | Null -> ()
+    | Memory lines -> lines := line :: !lines
+    | File oc ->
+        output_string oc line;
+        output_char oc '\n');
+    t.written <- t.written + 1
+  end
+
+let count t = t.written
+
+let lines t = match t.target with Memory lines -> List.rev !lines | Null | File _ -> []
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.target with
+    | File oc -> close_out oc
+    | Null | Memory _ -> ()
+  end

@@ -1,0 +1,33 @@
+(** Pluggable span output.
+
+    A sink consumes rendered JSONL lines. Three implementations cover
+    every current consumer: {!null} (tracing structurally enabled but
+    output discarded), {!memory} (tests and in-process inspection), and
+    {!jsonl_file} (the [--trace FILE] export consumed by external
+    tooling). *)
+
+type t
+
+val null : t
+(** Discards every line (still counts them). *)
+
+val memory : unit -> t
+(** Accumulates lines in memory, unbounded; read back with {!lines}. *)
+
+val jsonl_file : string -> t
+(** Opens (truncates) [path] and appends one line per {!write}. Raises
+    [Sys_error] if the file cannot be created. *)
+
+val write : t -> string -> unit
+(** [write t line] emits one JSONL line ([line] must not contain a
+    newline; the sink adds it). No-op on a closed sink. *)
+
+val count : t -> int
+(** Lines written so far. *)
+
+val lines : t -> string list
+(** Lines retained by a {!memory} sink, oldest first; [[]] for other
+    sinks. *)
+
+val close : t -> unit
+(** Flushes and closes a file sink; idempotent, no-op for others. *)

@@ -5,6 +5,7 @@ let () =
          Test_rng.suites;
          Test_idspace.suites;
          Test_stats.suites;
+         Test_telemetry.suites;
          Test_hierarchy.suites;
          Test_topology.suites;
          Test_core.suites;
