@@ -10,7 +10,7 @@
 
    Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 theorems variants
    lookahead balance maintenance caching isolation hybrid prefixcan
-   skipnet micro.
+   skipnet robustness micro.
 
    Every run ends with a manifest (seed, scale, git revision, wall time
    per experiment) so pasted outputs are self-identifying; --json FILE
@@ -101,6 +101,7 @@ let experiments =
     ("hybrid", Hybrid_bench.run);
     ("prefixcan", Prefix_can_bench.run);
     ("skipnet", Skipnet_bench.run);
+    ("robustness", Robustness_bench.run);
     ("micro", fun ~scale:_ ~seed:_ -> micro_benchmarks ());
   ]
 

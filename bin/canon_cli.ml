@@ -71,6 +71,40 @@ let experiment_cmd name ~doc build =
   in
   Cmd.v (Cmd.info name ~doc) term
 
+(* The robustness sweep takes fault-injection knobs on top of the
+   standard experiment flags, so it gets a hand-rolled command. *)
+let robustness_cmd =
+  let fail_frac_arg =
+    let doc =
+      "Measure a single crashed-node fraction $(docv) instead of the default sweep \
+       (0, 0.05, 0.1, 0.2, 0.3)."
+    in
+    Arg.(value & opt (some float) None & info [ "fail-frac" ] ~docv:"FRAC" ~doc)
+  in
+  let loss_arg =
+    let doc = "Per-message loss probability (default 0.01)." in
+    Arg.(value & opt (some float) None & info [ "loss" ] ~docv:"PROB" ~doc)
+  in
+  let run fail_frac loss =
+    let bad_prob = function Some f when f < 0.0 || f > 1.0 -> true | Some _ | None -> false in
+    if bad_prob fail_frac || bad_prob loss then
+      fun _ _ _ _ _ -> `Error (false, "--fail-frac and --loss must be in [0, 1]")
+    else
+      run_experiment (fun ~scale ~seed ->
+          Robustness_bench.run_with
+            ?fail_fracs:(Option.map (fun f -> [ f ]) fail_frac)
+            ?loss ~scale ~seed ())
+  in
+  let doc =
+    "Message-level robustness: lookup success and latency vs crashed-node fraction \
+     under loss, timeouts and retries (canon_net)."
+  in
+  Cmd.v (Cmd.info "robustness" ~doc)
+    Term.(
+      ret
+        (const run $ fail_frac_arg $ loss_arg $ quick_arg $ seed_arg $ trace_arg
+       $ sample_arg $ metrics_arg))
+
 let commands =
   [
     experiment_cmd "fig3" ~doc:"Figure 3: average #links/node vs network size." Fig3.run;
@@ -102,6 +136,7 @@ let commands =
       Prefix_can_bench.run;
     experiment_cmd "skipnet" ~doc:"SkipNet vs Crescendo: locality and convergence (sec. 6)."
       Skipnet_bench.run;
+    robustness_cmd;
   ]
 
 let default =

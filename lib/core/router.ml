@@ -160,28 +160,45 @@ let greedy_xor ?trace overlay ~src ~key =
       traced tr ~kind:"greedy_xor" ~key ~level:(level_of_edge overlay) (fun () ->
           collect overlay src step key)
 
+type step_outcome = Forward of int | Arrived | Blocked
+
+let step_clockwise_avoiding overlay ~dead ~at:u ~key =
+  let du = Id.distance (Overlay.id overlay u) key in
+  if du = 0 then Arrived
+  else begin
+    let best = ref (-1) and best_remaining = ref du in
+    Array.iter
+      (fun v ->
+        if not (dead v) then begin
+          let remaining = Id.distance (Overlay.id overlay v) key in
+          if Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du
+             && remaining < !best_remaining
+          then begin
+            best := v;
+            best_remaining := remaining
+          end
+        end)
+      (Overlay.links overlay u);
+    if !best >= 0 then Forward !best
+    else if
+      (* Blocked, not arrived: a dead link of [u] would have made
+         progress, so a live owner closer to the key may exist but [u]
+         cannot see it. *)
+      Array.exists
+        (fun v ->
+          dead v && Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du)
+        (Overlay.links overlay u)
+    then Blocked
+    else Arrived
+  end
+
 let greedy_clockwise_avoiding ?trace overlay ~dead ~src ~key =
   if dead src then invalid_arg "Router.greedy_clockwise_avoiding: dead source";
   let max_hops = budget overlay in
   let step u =
-    let du = Id.distance (Overlay.id overlay u) key in
-    if du = 0 then None
-    else begin
-      let best = ref (-1) and best_remaining = ref du in
-      Array.iter
-        (fun v ->
-          if not (dead v) then begin
-            let remaining = Id.distance (Overlay.id overlay v) key in
-            if Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du
-               && remaining < !best_remaining
-            then begin
-              best := v;
-              best_remaining := remaining
-            end
-          end)
-        (Overlay.links overlay u);
-      if !best < 0 then None else Some !best
-    end
+    match step_clockwise_avoiding overlay ~dead ~at:u ~key with
+    | Forward v -> Some v
+    | Arrived | Blocked -> None
   in
   let record outcome nodes =
     match trace with
@@ -205,15 +222,7 @@ let greedy_clockwise_avoiding ?trace overlay ~dead ~src ~key =
         end;
         go v (u :: acc) (hops + 1)
     | None ->
-        let du = Id.distance (Overlay.id overlay u) key in
-        let blocked =
-          du <> 0
-          && Array.exists
-               (fun v ->
-                 dead v
-                 && Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du)
-               (Overlay.links overlay u)
-        in
+        let blocked = step_clockwise_avoiding overlay ~dead ~at:u ~key = Blocked in
         let nodes = Array.of_list (List.rev (u :: acc)) in
         if blocked then begin
           record Span.Stranded nodes;

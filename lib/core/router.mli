@@ -95,6 +95,21 @@ val greedy_clockwise_avoiding :
     quantity the fault-isolation experiment measures. [src] must be
     alive. *)
 
+type step_outcome =
+  | Forward of int  (** best live no-overshoot link toward the key *)
+  | Arrived  (** no node in [(at, key]] is linked at all: [at] is the
+                 key's predecessor among the reachable structure *)
+  | Blocked  (** every useful link is dead — a live owner may exist but
+                 [at] cannot see it (the stranded condition) *)
+
+val step_clockwise_avoiding :
+  Overlay.t -> dead:(int -> bool) -> at:int -> key:Id.t -> step_outcome
+(** One step of {!greedy_clockwise_avoiding}: what the node [at] does
+    with a message for [key] given its local knowledge of dead nodes.
+    Exposed so that message-level simulations ([canon_net]) can drive
+    the same forwarding rule hop by hop, interleaved with timeouts and
+    retries, instead of routing a whole path at once. *)
+
 val level_of_edge : Overlay.t -> int -> int -> int
 (** [level_of_edge overlay u v] is the hierarchy depth of the link
     (u, v): the depth of the lowest common ancestor domain of the two

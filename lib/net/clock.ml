@@ -1,0 +1,15 @@
+type t = { start : float; mutable now : float }
+
+let create ?(start = 0.0) () =
+  if not (Float.is_finite start) || start < 0.0 then
+    invalid_arg "Clock.create: bad start time";
+  { start; now = start }
+
+let now t = t.now
+
+let advance_to t time =
+  if not (Float.is_finite time) then invalid_arg "Clock.advance_to: bad time";
+  if time < t.now then invalid_arg "Clock.advance_to: time moved backwards";
+  t.now <- time
+
+let elapsed t = t.now -. t.start

@@ -1,0 +1,23 @@
+(** The virtual clock of the message-level simulator.
+
+    Simulated time is plain milliseconds from the start of a run. The
+    clock only moves forward — {!Net} advances it to the timestamp of
+    the next due event batch — so "now" is always the timestamp of the
+    event being processed, and backwards motion is a scheduling bug
+    worth failing loudly on. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+(** A clock reading [start] (default 0). [start] must be finite and
+    non-negative. *)
+
+val now : t -> float
+
+val advance_to : t -> float -> unit
+(** Moves the clock forward to [time]. Raises [Invalid_argument] when
+    [time] is NaN/infinite or earlier than {!now} (equal is allowed:
+    several event batches may share a timestamp). *)
+
+val elapsed : t -> float
+(** Milliseconds since the clock's start value. *)

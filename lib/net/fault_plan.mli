@@ -1,0 +1,76 @@
+(** What goes wrong, and where: the fault configuration of a simulated
+    network.
+
+    A fault plan is built once per experiment point and is purely
+    descriptive — it holds no clock or queue. Three fault classes:
+
+    - {e message loss}: every message is independently dropped with
+      probability [loss] (drawn from the {!Net}'s RNG, so runs are
+      reproducible);
+    - {e crashed nodes}: a crashed node never receives anything; the
+      sender only learns of the crash through timeouts. Whole domains
+      can be crashed at once ({!crash_domain}) to model the paper's
+      correlated-failure scenarios (a campus loses power);
+    - {e slow nodes}: every message to or from a slow node has its
+      latency multiplied by the node's factor. A factor large enough to
+      push latency past the RPC timeout makes the node indistinguishable
+      from a crashed one to its peers — which is the point.
+
+    Crash/slow mutators may be called at any time; {!Net} reads the plan
+    live, so a plan mutated between lookups models failures striking
+    mid-experiment. *)
+
+open Canon_overlay
+
+type t
+
+val create : ?loss:float -> n:int -> unit -> t
+(** A plan over [n] nodes with no crashed or slow nodes and message-loss
+    probability [loss] (default 0). Raises [Invalid_argument] unless
+    [0 <= loss <= 1] and [n >= 0]. *)
+
+val none : n:int -> t
+(** A fault-free plan: [create ~loss:0.0 ~n ()]. *)
+
+val size : t -> int
+
+val loss : t -> float
+
+val set_loss : t -> float -> unit
+(** Raises [Invalid_argument] unless [0 <= loss <= 1]. *)
+
+val crash : t -> int -> unit
+(** Marks a node crashed (idempotent). *)
+
+val revive : t -> int -> unit
+
+val is_crashed : t -> int -> bool
+
+val crashed_count : t -> int
+
+val crashed_nodes : t -> int array
+(** Crashed node indices in increasing order. *)
+
+val crash_random :
+  t -> Canon_rng.Rng.t -> fraction:float -> ?protect:(int -> bool) -> unit -> unit
+(** Crashes each non-protected node independently with probability
+    [fraction]. Raises [Invalid_argument] unless [0 <= fraction <= 1]. *)
+
+val crash_domain : t -> Population.t -> domain:int -> unit
+(** Crashes every node whose leaf lies in [domain]'s subtree — a
+    whole-domain outage. The population's size must match the plan's. *)
+
+val slow : t -> int -> factor:float -> unit
+(** Sets a node's latency multiplier. Raises [Invalid_argument] unless
+    [factor >= 1]. [factor = 1] restores normal speed. *)
+
+val multiplier : t -> int -> float
+(** The node's latency multiplier (1 unless {!slow} raised it). *)
+
+val edge_multiplier : t -> int -> int -> float
+(** [edge_multiplier t u v] scales a message from [u] to [v]: the product
+    of both endpoints' multipliers. *)
+
+val draw_lost : t -> Canon_rng.Rng.t -> bool
+(** One per-message loss trial. Never consumes randomness when
+    [loss = 0], so a fault-free run draws exactly as a plan-free one. *)

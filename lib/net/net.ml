@@ -1,0 +1,285 @@
+open Canon_idspace
+open Canon_overlay
+open Canon_core
+open Canon_sim
+module Rng = Canon_rng.Rng
+module Metrics = Canon_telemetry.Metrics
+module Trace = Canon_telemetry.Trace
+module Span = Canon_telemetry.Span
+
+type suspicion = [ `Per_lookup | `Shared ]
+
+type t = {
+  overlay : Overlay.t;
+  node_latency : int -> int -> float;
+  plan : Fault_plan.t;
+  policy : Rpc.policy;
+  rng : Rng.t;
+  rings : Rings.t option;
+  leaf_width : int;
+  suspicion : suspicion;
+  suspected : bool array;
+  leaf_cache : int array array option array;
+}
+
+(* Process-wide telemetry, bound once (see Metrics). *)
+let m_lookups = Metrics.counter "net.lookups"
+let m_messages = Metrics.counter "net.messages"
+let m_retries = Metrics.counter "net.retries"
+let m_timeouts = Metrics.counter "net.timeouts"
+let m_losses = Metrics.counter "net.losses"
+let m_reanchors = Metrics.counter "net.reanchors"
+let m_delivered = Metrics.counter "net.delivered"
+let m_rerouted = Metrics.counter "net.rerouted"
+let m_failed = Metrics.counter "net.failed"
+let m_deadline = Metrics.counter "net.deadline_exceeded"
+let h_wall = Metrics.histogram "net.delivered_latency_ms"
+
+let h_messages =
+  Metrics.histogram
+    ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+    "net.messages_per_lookup"
+
+let create ?(policy = Rpc.default) ?plan ?rings ?(leaf_width = 4)
+    ?(suspicion = `Per_lookup) ~rng ~node_latency overlay =
+  Rpc.validate policy;
+  if leaf_width < 1 then invalid_arg "Net.create: leaf_width must be >= 1";
+  let n = Overlay.size overlay in
+  let plan = match plan with Some p -> p | None -> Fault_plan.none ~n in
+  if Fault_plan.size plan <> n then invalid_arg "Net.create: plan/overlay size mismatch";
+  (match rings with
+  | Some r when Rings.population r != Overlay.population overlay ->
+      invalid_arg "Net.create: rings built over a different population"
+  | Some _ | None -> ());
+  {
+    overlay;
+    node_latency;
+    plan;
+    policy;
+    rng;
+    rings;
+    leaf_width;
+    suspicion;
+    suspected = Array.make n false;
+    leaf_cache = Array.make n None;
+  }
+
+let overlay t = t.overlay
+
+let plan t = t.plan
+
+let suspected_nodes t =
+  let out = ref [] in
+  for v = Array.length t.suspected - 1 downto 0 do
+    if t.suspected.(v) then out := v :: !out
+  done;
+  Array.of_list !out
+
+let clear_suspicions t = Array.fill t.suspected 0 (Array.length t.suspected) false
+
+let leaf_sets t u =
+  match t.rings with
+  | None -> [||]
+  | Some rings -> (
+      match t.leaf_cache.(u) with
+      | Some sets -> sets
+      | None ->
+          let sets = Leaf_sets.successors rings ~node:u ~width:t.leaf_width in
+          t.leaf_cache.(u) <- Some sets;
+          sets)
+
+let reanchor_candidate t ~at ~key =
+  let id_at = Overlay.id t.overlay at in
+  let du = Id.distance id_at key in
+  if du = 0 then None
+  else begin
+    let best = ref (-1) and best_d = ref max_int in
+    Array.iter
+      (Array.iter (fun w ->
+           if not t.suspected.(w) then begin
+             let dw = Id.distance id_at (Overlay.id t.overlay w) in
+             if dw > 0 && dw <= du && dw < !best_d then begin
+               best := w;
+               best_d := dw
+             end
+           end))
+      (leaf_sets t at);
+    if !best < 0 then None else Some !best
+  end
+
+(* --- one lookup ---------------------------------------------------- *)
+
+type msg = { from_ : int; to_ : int; attempt : int; mutable got_through : bool }
+
+type event = Send of msg | Deliver of msg | Timeout of msg
+
+type lookup_state = {
+  mutable rev_path : int list;
+  mutable hops : int;
+  mutable messages : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable losses : int;
+  mutable reanchors : int;
+  mutable deviated : bool;
+  mutable newly_suspected : int list;
+  mutable finished : (Async_route.status * Async_route.failure option) option;
+}
+
+let lookup t ~src ~key =
+  if Fault_plan.is_crashed t.plan src then invalid_arg "Net.lookup: crashed source";
+  Metrics.incr m_lookups;
+  let q = Event_queue.create () in
+  let clock = Clock.create () in
+  let st =
+    {
+      rev_path = [ src ];
+      hops = 0;
+      messages = 0;
+      retries = 0;
+      timeouts = 0;
+      losses = 0;
+      reanchors = 0;
+      deviated = false;
+      newly_suspected = [];
+      finished = None;
+    }
+  in
+  let suspect v = t.suspected.(v) in
+  let max_hops = Overlay.size t.overlay + 1 in
+  let finish ?failure status = st.finished <- Some (status, failure) in
+  let transmit ~now m =
+    st.messages <- st.messages + 1;
+    Metrics.incr m_messages;
+    let lost = Fault_plan.draw_lost t.plan t.rng in
+    if lost then begin
+      st.losses <- st.losses + 1;
+      Metrics.incr m_losses
+    end;
+    let lat =
+      t.node_latency m.from_ m.to_ *. Fault_plan.edge_multiplier t.plan m.from_ m.to_
+    in
+    (* A message lost, aimed at a crashed node, or slower than the
+       timeout never completes its hop; the sender finds out at the
+       timeout. Deliver is pushed before Timeout so a latency exactly at
+       the timeout still wins the FIFO tie. *)
+    if
+      (not lost)
+      && (not (Fault_plan.is_crashed t.plan m.to_))
+      && lat <= t.policy.Rpc.timeout_ms
+    then Event_queue.push q ~time:(now +. lat) (Deliver m);
+    Event_queue.push q ~time:(now +. t.policy.Rpc.timeout_ms) (Timeout m)
+  in
+  let fault_free_next u =
+    match Router.step_clockwise_avoiding t.overlay ~dead:(fun _ -> false) ~at:u ~key with
+    | Router.Forward w -> Some w
+    | Router.Arrived | Router.Blocked -> None
+  in
+  let forward ~now u v =
+    if fault_free_next u <> Some v then st.deviated <- true;
+    transmit ~now { from_ = u; to_ = v; attempt = 0; got_through = false }
+  in
+  (* What the node holding the message does next, given its current
+     knowledge of suspects. *)
+  let step_at ~now u =
+    match Router.step_clockwise_avoiding t.overlay ~dead:suspect ~at:u ~key with
+    | Router.Forward v -> forward ~now u v
+    | Router.Arrived -> finish (if st.deviated then Rerouted else Delivered)
+    | Router.Blocked -> (
+        match reanchor_candidate t ~at:u ~key with
+        | Some v ->
+            st.reanchors <- st.reanchors + 1;
+            Metrics.incr m_reanchors;
+            st.deviated <- true;
+            forward ~now u v
+        | None -> finish Failed ~failure:Async_route.No_candidate)
+  in
+  let handle ~now = function
+    | _ when st.finished <> None -> ()
+    | Send m -> transmit ~now m
+    | Deliver m ->
+        m.got_through <- true;
+        st.rev_path <- m.to_ :: st.rev_path;
+        st.hops <- st.hops + 1;
+        if st.hops > max_hops then finish Failed ~failure:Async_route.Hop_budget
+        else step_at ~now m.to_
+    | Timeout m ->
+        if not m.got_through then begin
+          st.timeouts <- st.timeouts + 1;
+          Metrics.incr m_timeouts;
+          if m.attempt < t.policy.Rpc.max_retries then begin
+            st.retries <- st.retries + 1;
+            Metrics.incr m_retries;
+            let retry = m.attempt + 1 in
+            let delay = Rpc.backoff_ms t.policy ~retry t.rng in
+            Event_queue.push q ~time:(now +. delay)
+              (Send { m with attempt = retry; got_through = false })
+          end
+          else begin
+            (* Retry budget exhausted: declare the target dead and let
+               the sender route around it (or re-anchor). *)
+            if not t.suspected.(m.to_) then begin
+              t.suspected.(m.to_) <- true;
+              st.newly_suspected <- m.to_ :: st.newly_suspected
+            end;
+            step_at ~now m.from_
+          end
+        end
+  in
+  step_at ~now:0.0 src;
+  let rec run () =
+    match Event_queue.peek_time q with
+    | None -> ()
+    | Some time when time > t.policy.Rpc.deadline_ms ->
+        (* The lookup's future lies entirely past its deadline: the
+           caller has already given up. *)
+        Clock.advance_to clock t.policy.Rpc.deadline_ms;
+        Metrics.incr m_deadline;
+        finish Async_route.Failed ~failure:Async_route.Deadline
+    | Some time ->
+        Clock.advance_to clock time;
+        List.iter (fun (_, ev) -> handle ~now:time ev) (Event_queue.pop_until q ~time);
+        if st.finished = None then run ()
+  in
+  run ();
+  (match t.suspicion with
+  | `Per_lookup -> List.iter (fun v -> t.suspected.(v) <- false) st.newly_suspected
+  | `Shared -> ());
+  let status, failure =
+    match st.finished with
+    | Some (s, f) -> (s, f)
+    | None -> (Async_route.Failed, Some Async_route.No_candidate)
+  in
+  let route = Route.{ nodes = Array.of_list (List.rev st.rev_path) } in
+  let wall_ms = Clock.elapsed clock in
+  Metrics.observe h_messages (Float.of_int (max 1 st.messages));
+  (match status with
+  | Async_route.Delivered ->
+      Metrics.incr m_delivered;
+      Metrics.observe h_wall wall_ms
+  | Async_route.Rerouted ->
+      Metrics.incr m_rerouted;
+      Metrics.observe h_wall wall_ms
+  | Async_route.Failed -> Metrics.incr m_failed);
+  (match Trace.ambient () with
+  | None -> ()
+  | Some tr ->
+      let outcome =
+        match status with
+        | Async_route.Delivered | Async_route.Rerouted -> Span.Arrived
+        | Async_route.Failed -> Span.Stranded
+      in
+      Trace.record tr ~kind:"canon_net.lookup" ~key ~outcome ~nodes:route.Route.nodes
+        ~level:(Router.level_of_edge t.overlay) ~latency:t.node_latency ());
+  Async_route.
+    {
+      status;
+      failure;
+      route;
+      wall_ms;
+      messages = st.messages;
+      retries = st.retries;
+      timeouts = st.timeouts;
+      losses = st.losses;
+      reanchors = st.reanchors;
+    }

@@ -1,0 +1,92 @@
+(** The message-level asynchronous lookup simulator.
+
+    Where the synchronous engines in {!Canon_core.Router} teleport a
+    message along its whole path in one call, [Net] turns every hop into
+    an RPC on a virtual clock: the message takes real (transit-stub)
+    latency to cross each link, can be dropped or sent to a crashed/slow
+    node per the {!Fault_plan}, and the sender recovers through the
+    {!Rpc} policy — timeout, bounded retries with jittered exponential
+    backoff — before giving up on a link. Recovery is layered exactly as
+    the paper's §2.3 prescribes:
+
+    + {e retry}: a timed-out hop is resent to the same target, with
+      backoff, up to [max_retries] times;
+    + {e reroute}: when the budget is exhausted the target is marked
+      suspect and the sender re-runs the greedy rule avoiding suspects
+      ({!Canon_core.Router.step_clockwise_avoiding});
+    + {e re-anchor}: when every useful link is suspect, the sender falls
+      back to its per-level leaf sets ({!Canon_sim.Leaf_sets}) and
+      forwards to the nearest non-suspect successor that makes clockwise
+      progress — the "next leaf-set entry re-anchors the ring" move.
+
+    Fidelity contract (pinned by the test suite): with a fault-free plan
+    a lookup visits {e exactly} the nodes {!Canon_core.Router.greedy_clockwise}
+    would visit, and its wall-clock time is the path's physical latency.
+    Faults only ever add: retries, waits, detours.
+
+    Simplifications, on purpose: forwarding is recursive (the node
+    holding the message picks the next hop); per-hop acknowledgements
+    are not simulated separately — a delivered hop silently cancels its
+    sender's timeout — and a message slower than the timeout is treated
+    as undelivered, which is precisely what makes slow nodes get routed
+    around.
+
+    Every lookup feeds the [net.*] telemetry counters and delivered-
+    latency histogram, and emits a span to the ambient trace when one is
+    installed. *)
+
+open Canon_idspace
+open Canon_overlay
+
+type t
+
+type suspicion = [ `Per_lookup | `Shared ]
+(** Scope of learned suspicions. [`Per_lookup] (the default) forgets
+    them when the lookup ends — each lookup discovers failures afresh,
+    modelling independent clients with no shared failure detector, the
+    paper's no-repair setting. [`Shared] keeps them for the process
+    lifetime, modelling a node-local failure-detector cache: later
+    lookups route around known-dead nodes without paying the timeouts
+    again. *)
+
+val create :
+  ?policy:Rpc.policy ->
+  ?plan:Fault_plan.t ->
+  ?rings:Rings.t ->
+  ?leaf_width:int ->
+  ?suspicion:suspicion ->
+  rng:Canon_rng.Rng.t ->
+  node_latency:(int -> int -> float) ->
+  Overlay.t ->
+  t
+(** A simulated network over [overlay]. [node_latency] is the physical
+    latency oracle (e.g. {!Canon_topology.Latency.node_latency} composed
+    with attachment points). [plan] defaults to fault-free; [policy] to
+    {!Rpc.default}. [rings] enables leaf-set re-anchoring with
+    [leaf_width] successors per level (default 4; without [rings] a
+    blocked lookup fails instead of re-anchoring). Raises
+    [Invalid_argument] on a plan/overlay size mismatch, an invalid
+    policy, or [leaf_width < 1]. *)
+
+val overlay : t -> Overlay.t
+
+val plan : t -> Fault_plan.t
+(** Live: mutating the returned plan affects subsequent lookups. *)
+
+val lookup : t -> src:int -> key:Id.t -> Async_route.t
+(** Routes one message from [src] toward [key]'s responsible node,
+    simulating every hop. Raises [Invalid_argument] when [src] is
+    crashed. Deterministic given the creation RNG's state. *)
+
+val suspected_nodes : t -> int array
+(** Nodes the network currently believes dead (retry budgets exhausted
+    against them), in increasing order. *)
+
+val clear_suspicions : t -> unit
+(** Forget learned suspicions (e.g. after reviving nodes mid-run). *)
+
+val reanchor_candidate : t -> at:int -> key:Id.t -> int option
+(** The leaf-set fallback [at] would use for [key] right now: the
+    nearest non-suspect leaf-set successor making clockwise progress
+    without overshooting. [None] without [rings] or when every candidate
+    is suspect/overshoots. Exposed for tests and diagnostics. *)

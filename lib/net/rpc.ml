@@ -1,0 +1,39 @@
+module Rng = Canon_rng.Rng
+
+type policy = {
+  timeout_ms : float;
+  max_retries : int;
+  backoff_base_ms : float;
+  backoff_factor : float;
+  jitter : float;
+  deadline_ms : float;
+}
+
+let default =
+  {
+    timeout_ms = 1000.0;
+    max_retries = 3;
+    backoff_base_ms = 50.0;
+    backoff_factor = 2.0;
+    jitter = 0.2;
+    deadline_ms = 10_000.0;
+  }
+
+let validate p =
+  if not (Float.is_finite p.timeout_ms) || p.timeout_ms <= 0.0 then
+    invalid_arg "Rpc.validate: timeout_ms must be positive";
+  if p.max_retries < 0 then invalid_arg "Rpc.validate: max_retries must be >= 0";
+  if not (Float.is_finite p.backoff_base_ms) || p.backoff_base_ms <= 0.0 then
+    invalid_arg "Rpc.validate: backoff_base_ms must be positive";
+  if not (Float.is_finite p.backoff_factor) || p.backoff_factor < 1.0 then
+    invalid_arg "Rpc.validate: backoff_factor must be >= 1";
+  if not (Float.is_finite p.jitter) || p.jitter < 0.0 || p.jitter >= 1.0 then
+    invalid_arg "Rpc.validate: jitter must be in [0, 1)";
+  if not (Float.is_finite p.deadline_ms) || p.deadline_ms <= p.timeout_ms then
+    invalid_arg "Rpc.validate: deadline_ms must exceed timeout_ms"
+
+let backoff_ms p ~retry rng =
+  if retry < 1 then invalid_arg "Rpc.backoff_ms: retry must be >= 1";
+  let base = p.backoff_base_ms *. (p.backoff_factor ** Float.of_int (retry - 1)) in
+  if p.jitter = 0.0 then base
+  else base *. (1.0 -. p.jitter +. (2.0 *. p.jitter *. Rng.float rng))

@@ -1,0 +1,42 @@
+(** Per-hop RPC policy: timeout, bounded retries, exponential backoff
+    with jitter.
+
+    Every hop of a simulated lookup is one RPC. The sender waits
+    [timeout_ms] for the hop to complete; on timeout it resends after a
+    backoff delay, up to [max_retries] resends; when the budget is
+    exhausted it declares the target suspect and falls back to another
+    link (see {!Net}). Backoff for the [k]-th retry (1-based) is
+
+    [backoff_base_ms * backoff_factor^(k-1) * u]
+
+    where [u] is uniform on [1 - jitter, 1 + jitter] — jitter decorrelates
+    retry storms exactly as in production RPC stacks, and is drawn from
+    the simulation RNG so runs stay reproducible. *)
+
+type policy = {
+  timeout_ms : float;  (** per-attempt wait before declaring a timeout *)
+  max_retries : int;  (** resends after the first attempt; 0 = fail fast *)
+  backoff_base_ms : float;  (** delay before the first resend *)
+  backoff_factor : float;  (** multiplier per further resend, >= 1 *)
+  jitter : float;  (** relative half-width of the backoff noise, in [0, 1) *)
+  deadline_ms : float;
+      (** end-to-end budget of a whole lookup: once the virtual clock
+          passes it the lookup is abandoned — a lookup that spends
+          seconds in timeout/retry cycles has failed its caller even if
+          it would eventually arrive *)
+}
+
+val default : policy
+(** 1000 ms timeout (comfortably above the worst transit-stub round
+    trip), 3 retries, 50 ms base backoff doubling per retry, 20%
+    jitter, 10 s deadline (several fault-free worst-case paths). *)
+
+val validate : policy -> unit
+(** Raises [Invalid_argument] naming the first bad field: non-positive
+    timeout or base, negative retries, factor < 1, jitter outside
+    [0, 1), deadline not above the timeout. *)
+
+val backoff_ms : policy -> retry:int -> Canon_rng.Rng.t -> float
+(** Backoff delay before the [retry]-th resend (1-based). Requires
+    [retry >= 1]. Consumes exactly one RNG draw when [jitter > 0], none
+    otherwise. *)

@@ -12,6 +12,7 @@ let () =
          Test_storage.suites;
          Test_balance.suites;
          Test_sim.suites;
+         Test_net.suites;
          Test_workload.suites;
          Test_extensions.suites;
          Test_skipnet.suites;

@@ -755,6 +755,40 @@ let test_route_domain_crossings () =
   let dom = function 0 -> 0 | 1 -> 0 | 2 -> 1 | 3 -> 1 | _ -> assert false in
   Alcotest.(check int) "crossings" 1 (Route.domain_crossings r ~domain_of_node:dom)
 
+(* Edge cases the message-level simulator leans on: zero-hop paths and
+   fully-disjoint paths must yield well-defined (zero) metrics, never
+   NaN or a division by zero. *)
+let test_route_metric_edge_cases () =
+  let zero = Route.singleton 5 in
+  let multi = Route.{ nodes = [| 1; 2; 3; 4 |] } in
+  let oracle _ _ = 1.0 in
+  Alcotest.(check (float 1e-9)) "zero-hop path vs any reference" 0.0
+    (Route.overlap_fraction ~reference:multi zero `Hops);
+  Alcotest.(check (float 1e-9)) "zero-hop path, latency metric" 0.0
+    (Route.overlap_fraction ~reference:multi zero (`Latency oracle));
+  Alcotest.(check (float 1e-9)) "zero-hop reference" 0.0
+    (Route.overlap_fraction ~reference:zero multi `Hops);
+  Alcotest.(check (float 1e-9)) "both zero-hop" 0.0
+    (Route.overlap_fraction ~reference:zero zero `Hops);
+  let disjoint = Route.{ nodes = [| 10; 11; 12; 13 |] } in
+  Alcotest.(check (float 1e-9)) "fully disjoint, hops" 0.0
+    (Route.overlap_fraction ~reference:multi disjoint `Hops);
+  Alcotest.(check (float 1e-9)) "fully disjoint, latency" 0.0
+    (Route.overlap_fraction ~reference:multi disjoint (`Latency oracle));
+  (* Same nodes, opposite direction: edges are directed, so no overlap. *)
+  let reversed = Route.{ nodes = [| 4; 3; 2; 1 |] } in
+  Alcotest.(check (float 1e-9)) "reversed path shares no directed edge" 0.0
+    (Route.overlap_fraction ~reference:multi reversed `Hops);
+  (* Zero-latency edges must not divide by zero. *)
+  Alcotest.(check (float 1e-9)) "all-zero oracle" 0.0
+    (Route.overlap_fraction ~reference:multi multi (`Latency (fun _ _ -> 0.0)));
+  Alcotest.(check int) "zero-hop crossings" 0
+    (Route.domain_crossings zero ~domain_of_node:(fun _ -> 0));
+  Alcotest.(check int) "every hop crosses" (Route.hops multi)
+    (Route.domain_crossings multi ~domain_of_node:Fun.id);
+  Alcotest.(check int) "no hop crosses" 0
+    (Route.domain_crossings multi ~domain_of_node:(fun _ -> 42))
+
 let suites =
   [
     ( "ring",
@@ -832,6 +866,8 @@ let suites =
         Alcotest.test_case "metrics" `Quick test_route_metrics;
         Alcotest.test_case "overlap" `Quick test_route_overlap;
         Alcotest.test_case "domain crossings" `Quick test_route_domain_crossings;
+        Alcotest.test_case "zero-hop and disjoint edge cases" `Quick
+          test_route_metric_edge_cases;
       ] );
   ]
 

@@ -1,0 +1,513 @@
+(* Tests for canon_net: the virtual clock, RPC policy, fault plans, and
+   the message-level lookup simulator. The central assertions: with no
+   faults the async lookup is byte-for-byte the synchronous greedy
+   route (same path, wall clock = physical latency); with faults it
+   degrades exactly through retry -> reroute -> leaf-set re-anchor. *)
+
+open Canon_idspace
+open Canon_hierarchy
+open Canon_overlay
+open Canon_core
+open Canon_net
+module Rng = Canon_rng.Rng
+module Metrics = Canon_telemetry.Metrics
+module Trace = Canon_telemetry.Trace
+module Span = Canon_telemetry.Span
+
+(* A deterministic synthetic latency oracle, 10..29 ms per edge. *)
+let oracle u v = if u = v then 0.0 else 10.0 +. Float.of_int (((u * 13) + (v * 7)) mod 20)
+
+let make_universe ?(fanout = 4) ?(levels = 3) ~n seed =
+  let rng = Rng.create seed in
+  let tree = Domain_tree.of_spec (Domain_tree.uniform_spec ~fanout ~levels) in
+  Population.create rng ~tree ~policy:(Placement.Zipfian 1.25) ~n
+
+(* --- Clock --------------------------------------------------------- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 (Clock.now c);
+  Clock.advance_to c 5.0;
+  Clock.advance_to c 5.0;
+  Clock.advance_to c 7.5;
+  Alcotest.(check (float 1e-9)) "now" 7.5 (Clock.now c);
+  Alcotest.(check (float 1e-9)) "elapsed" 7.5 (Clock.elapsed c);
+  Alcotest.check_raises "backwards" (Invalid_argument "Clock.advance_to: time moved backwards")
+    (fun () -> Clock.advance_to c 6.0);
+  Alcotest.check_raises "nan" (Invalid_argument "Clock.advance_to: bad time") (fun () ->
+      Clock.advance_to c Float.nan);
+  let c2 = Clock.create ~start:100.0 () in
+  Clock.advance_to c2 130.0;
+  Alcotest.(check (float 1e-9)) "elapsed from start" 30.0 (Clock.elapsed c2);
+  Alcotest.check_raises "bad start" (Invalid_argument "Clock.create: bad start time")
+    (fun () -> ignore (Clock.create ~start:(-1.0) ()))
+
+(* --- Rpc ----------------------------------------------------------- *)
+
+let test_rpc_validate () =
+  Rpc.validate Rpc.default;
+  let bad field p =
+    Alcotest.check_raises field (Invalid_argument ("Rpc.validate: " ^ field)) (fun () ->
+        Rpc.validate p)
+  in
+  bad "timeout_ms must be positive" { Rpc.default with Rpc.timeout_ms = 0.0 };
+  bad "max_retries must be >= 0" { Rpc.default with Rpc.max_retries = -1 };
+  bad "backoff_base_ms must be positive" { Rpc.default with Rpc.backoff_base_ms = -3.0 };
+  bad "backoff_factor must be >= 1" { Rpc.default with Rpc.backoff_factor = 0.5 };
+  bad "jitter must be in [0, 1)" { Rpc.default with Rpc.jitter = 1.0 };
+  bad "deadline_ms must exceed timeout_ms"
+    { Rpc.default with Rpc.deadline_ms = Rpc.default.Rpc.timeout_ms }
+
+let test_rpc_backoff () =
+  let p = { Rpc.default with Rpc.backoff_base_ms = 100.0; backoff_factor = 2.0; jitter = 0.0 } in
+  let rng = Rng.create 1 in
+  Alcotest.(check (float 1e-9)) "first" 100.0 (Rpc.backoff_ms p ~retry:1 rng);
+  Alcotest.(check (float 1e-9)) "second doubles" 200.0 (Rpc.backoff_ms p ~retry:2 rng);
+  Alcotest.(check (float 1e-9)) "fourth" 800.0 (Rpc.backoff_ms p ~retry:4 rng);
+  let j = { p with Rpc.jitter = 0.25 } in
+  for retry = 1 to 5 do
+    let base = 100.0 *. (2.0 ** Float.of_int (retry - 1)) in
+    let d = Rpc.backoff_ms j ~retry rng in
+    if d < base *. 0.75 || d > base *. 1.25 then
+      Alcotest.failf "jittered backoff %.1f outside [%.1f, %.1f]" d (base *. 0.75)
+        (base *. 1.25)
+  done;
+  Alcotest.check_raises "retry 0" (Invalid_argument "Rpc.backoff_ms: retry must be >= 1")
+    (fun () -> ignore (Rpc.backoff_ms p ~retry:0 rng))
+
+(* --- Fault_plan ---------------------------------------------------- *)
+
+let test_fault_plan_basics () =
+  let p = Fault_plan.create ~loss:0.25 ~n:10 () in
+  Alcotest.(check int) "size" 10 (Fault_plan.size p);
+  Alcotest.(check (float 1e-9)) "loss" 0.25 (Fault_plan.loss p);
+  Alcotest.(check int) "none crashed" 0 (Fault_plan.crashed_count p);
+  Fault_plan.crash p 3;
+  Fault_plan.crash p 3;
+  Fault_plan.crash p 7;
+  Alcotest.(check bool) "crashed" true (Fault_plan.is_crashed p 3);
+  Alcotest.(check int) "idempotent" 2 (Fault_plan.crashed_count p);
+  Alcotest.(check (array int)) "sorted list" [| 3; 7 |] (Fault_plan.crashed_nodes p);
+  Fault_plan.revive p 3;
+  Alcotest.(check bool) "revived" false (Fault_plan.is_crashed p 3);
+  Fault_plan.slow p 2 ~factor:5.0;
+  Alcotest.(check (float 1e-9)) "multiplier" 5.0 (Fault_plan.multiplier p 2);
+  Alcotest.(check (float 1e-9)) "edge multiplier" 5.0 (Fault_plan.edge_multiplier p 2 4);
+  Fault_plan.slow p 4 ~factor:3.0;
+  Alcotest.(check (float 1e-9)) "both ends" 15.0 (Fault_plan.edge_multiplier p 2 4);
+  Alcotest.check_raises "bad loss" (Invalid_argument "Fault_plan: loss must be in [0, 1]")
+    (fun () -> Fault_plan.set_loss p 1.5);
+  Alcotest.check_raises "bad factor" (Invalid_argument "Fault_plan.slow: factor must be >= 1")
+    (fun () -> Fault_plan.slow p 0 ~factor:0.5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Fault_plan.crash: node out of range") (fun () ->
+      Fault_plan.crash p 10)
+
+let test_fault_plan_draw_lost () =
+  let p = Fault_plan.none ~n:4 in
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    if Fault_plan.draw_lost p rng then Alcotest.fail "loss 0 must never lose"
+  done;
+  Fault_plan.set_loss p 1.0;
+  for _ = 1 to 50 do
+    if not (Fault_plan.draw_lost p rng) then Alcotest.fail "loss 1 must always lose"
+  done
+
+let test_fault_plan_crash_domain () =
+  let pop = make_universe ~n:120 40 in
+  let tree = pop.Population.tree in
+  let domain = (Domain_tree.children tree (Domain_tree.root tree)).(1) in
+  let p = Fault_plan.none ~n:120 in
+  Fault_plan.crash_domain p pop ~domain;
+  for v = 0 to 119 do
+    let inside =
+      Domain_tree.is_ancestor tree ~anc:domain ~desc:pop.Population.leaf_of_node.(v)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d crash matches membership" v)
+      inside (Fault_plan.is_crashed p v)
+  done;
+  Alcotest.(check bool) "someone crashed" true (Fault_plan.crashed_count p > 0);
+  Alcotest.(check bool) "not everyone" true (Fault_plan.crashed_count p < 120)
+
+let test_fault_plan_crash_random_protect () =
+  let p = Fault_plan.none ~n:200 in
+  Fault_plan.crash_random p (Rng.create 6) ~fraction:0.5 ~protect:(fun v -> v < 100) ();
+  for v = 0 to 99 do
+    if Fault_plan.is_crashed p v then Alcotest.fail "protected node crashed"
+  done;
+  let crashed = Fault_plan.crashed_count p in
+  Alcotest.(check bool) "roughly half of the rest" true (crashed > 20 && crashed < 80)
+
+(* --- Net: fault-free fidelity -------------------------------------- *)
+
+let build_crescendo ~n seed =
+  let pop = make_universe ~n seed in
+  let rings = Rings.build pop in
+  (pop, rings, Crescendo.build rings)
+
+let test_net_fault_free_matches_sync () =
+  let _, rings, overlay = build_crescendo ~n:200 50 in
+  let net = Net.create ~rings ~rng:(Rng.create 51) ~node_latency:oracle overlay in
+  let rng = Rng.create 52 in
+  for _ = 1 to 100 do
+    let src = Rng.int_below rng 200 and dst = Rng.int_below rng 200 in
+    let key = Overlay.id overlay dst in
+    let sync = Router.greedy_clockwise overlay ~src ~key in
+    let r = Net.lookup net ~src ~key in
+    Alcotest.(check bool) "delivered" true (r.Async_route.status = Async_route.Delivered);
+    Alcotest.(check (array int)) "path matches sync engine" sync.Route.nodes
+      r.Async_route.route.Route.nodes;
+    Alcotest.(check (float 1e-6)) "wall clock = physical path latency"
+      (Route.latency sync ~node_latency:oracle)
+      r.Async_route.wall_ms;
+    Alcotest.(check int) "one message per hop" (Route.hops sync) r.Async_route.messages;
+    Alcotest.(check int) "no retries" 0 r.Async_route.retries;
+    Alcotest.(check int) "no timeouts" 0 r.Async_route.timeouts;
+    Alcotest.(check int) "no losses" 0 r.Async_route.losses;
+    Alcotest.(check int) "no reanchors" 0 r.Async_route.reanchors
+  done
+
+let test_net_self_lookup () =
+  let _, rings, overlay = build_crescendo ~n:64 53 in
+  let net = Net.create ~rings ~rng:(Rng.create 54) ~node_latency:oracle overlay in
+  (* Looking up your own id terminates immediately: zero messages. *)
+  let r = Net.lookup net ~src:5 ~key:(Overlay.id overlay 5) in
+  Alcotest.(check bool) "delivered" true (Async_route.delivered r);
+  Alcotest.(check int) "zero hops" 0 (Route.hops r.Async_route.route);
+  Alcotest.(check int) "zero messages" 0 r.Async_route.messages;
+  Alcotest.(check (float 1e-9)) "zero wall" 0.0 r.Async_route.wall_ms
+
+(* --- Net: crash recovery ------------------------------------------- *)
+
+(* A (src, dst) pair whose fault-free route has at least [min_hops]
+   hops, by deterministic scan. *)
+let multi_hop_pair overlay ~n ~min_hops =
+  let found = ref None in
+  (try
+     for src = 0 to n - 1 do
+       for dst = 0 to n - 1 do
+         let route = Router.greedy_clockwise overlay ~src ~key:(Overlay.id overlay dst) in
+         if Route.hops route >= min_hops && Route.destination route = dst then begin
+           found := Some (src, dst, route);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  match !found with Some x -> x | None -> Alcotest.fail "no multi-hop pair found"
+
+let fast_policy =
+  {
+    Rpc.timeout_ms = 100.0;
+    max_retries = 1;
+    backoff_base_ms = 10.0;
+    backoff_factor = 2.0;
+    jitter = 0.0;
+    deadline_ms = 60_000.0;
+  }
+
+let test_net_reroutes_around_crashed_hop () =
+  let _, rings, overlay = build_crescendo ~n:200 55 in
+  let n = 200 in
+  let src, dst, route = multi_hop_pair overlay ~n ~min_hops:2 in
+  let victim = route.Route.nodes.(1) in
+  let plan = Fault_plan.none ~n in
+  Fault_plan.crash plan victim;
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings ~rng:(Rng.create 56) ~node_latency:oracle
+      overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "still delivered" true (Async_route.delivered r);
+  Alcotest.(check int) "same destination" dst (Route.destination r.Async_route.route);
+  Alcotest.(check bool) "rerouted status" true (r.Async_route.status = Async_route.Rerouted);
+  Alcotest.(check bool) "path avoids the crashed node" false
+    (Route.mem r.Async_route.route victim);
+  Alcotest.(check bool) "paid timeouts" true (r.Async_route.timeouts > 0);
+  Alcotest.(check bool) "paid retries" true (r.Async_route.retries > 0);
+  Alcotest.(check bool) "wall clock grew past the physical path" true
+    (r.Async_route.wall_ms > Route.latency r.Async_route.route ~node_latency:oracle)
+
+let test_net_reanchors_through_leaf_set () =
+  (* Flat 1-level universe: kill a node's first three ring successors
+     and look up the fourth. Every greedy candidate in (src, key] is
+     one of the dead successors, so delivery must go through leaf-set
+     re-anchoring (paper: "the next leaf-set entry re-anchors the
+     ring"). *)
+  let pop = make_universe ~levels:1 ~n:64 57 in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  let src = 0 in
+  let sets = Canon_sim.Leaf_sets.successors rings ~node:src ~width:4 in
+  Alcotest.(check int) "one level" 1 (Array.length sets);
+  let succ = sets.(0) in
+  Alcotest.(check int) "four successors" 4 (Array.length succ);
+  let plan = Fault_plan.none ~n:64 in
+  Fault_plan.crash plan succ.(0);
+  Fault_plan.crash plan succ.(1);
+  Fault_plan.crash plan succ.(2);
+  let dst = succ.(3) in
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings ~rng:(Rng.create 58) ~node_latency:oracle
+      overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "delivered despite three dead successors" true
+    (Async_route.delivered r);
+  Alcotest.(check int) "reached the fourth successor" dst
+    (Route.destination r.Async_route.route);
+  Alcotest.(check bool) "re-anchored at least once" true (r.Async_route.reanchors >= 1);
+  Array.iteri
+    (fun i v ->
+      if i < 3 then
+        Alcotest.(check bool) "dead successor not on path" false
+          (Route.mem r.Async_route.route v))
+    succ
+
+let test_net_fails_without_leaf_sets () =
+  (* Same scenario without ~rings: blocked means failed. *)
+  let pop = make_universe ~levels:1 ~n:64 57 in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  let src = 0 in
+  let succ = (Canon_sim.Leaf_sets.successors rings ~node:src ~width:4).(0) in
+  let plan = Fault_plan.none ~n:64 in
+  Fault_plan.crash plan succ.(0);
+  Fault_plan.crash plan succ.(1);
+  Fault_plan.crash plan succ.(2);
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rng:(Rng.create 58) ~node_latency:oracle overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay succ.(3)) in
+  Alcotest.(check bool) "failed" true (r.Async_route.status = Async_route.Failed);
+  Alcotest.(check (option string)) "for want of a candidate" (Some "no-candidate")
+    (Option.map Async_route.failure_to_string r.Async_route.failure)
+
+let test_net_suspicion_modes () =
+  let _, rings, overlay = build_crescendo ~n:200 55 in
+  let n = 200 in
+  let src, dst, route = multi_hop_pair overlay ~n ~min_hops:2 in
+  let victim = route.Route.nodes.(1) in
+  let key = Overlay.id overlay dst in
+  let run suspicion =
+    let plan = Fault_plan.none ~n in
+    Fault_plan.crash plan victim;
+    let net =
+      Net.create ~policy:fast_policy ~plan ~rings ~suspicion ~rng:(Rng.create 59)
+        ~node_latency:oracle overlay
+    in
+    let first = Net.lookup net ~src ~key in
+    let second = Net.lookup net ~src ~key in
+    (net, first, second)
+  in
+  (* Per-lookup: each lookup rediscovers the crash and pays again. *)
+  let net_p, first_p, second_p = run `Per_lookup in
+  Alcotest.(check bool) "per-lookup: first pays timeouts" true
+    (first_p.Async_route.timeouts > 0);
+  Alcotest.(check bool) "per-lookup: second pays again" true
+    (second_p.Async_route.timeouts > 0);
+  Alcotest.(check (array int)) "per-lookup: nothing remembered" [||]
+    (Net.suspected_nodes net_p);
+  (* Shared: the second lookup routes around the suspect for free. *)
+  let net_s, first_s, second_s = run `Shared in
+  Alcotest.(check bool) "shared: first pays timeouts" true
+    (first_s.Async_route.timeouts > 0);
+  Alcotest.(check int) "shared: second is clean" 0 second_s.Async_route.timeouts;
+  Alcotest.(check bool) "shared: still delivered" true (Async_route.delivered second_s);
+  Alcotest.(check (array int)) "shared: victim remembered" [| victim |]
+    (Net.suspected_nodes net_s);
+  Net.clear_suspicions net_s;
+  Alcotest.(check (array int)) "cleared" [||] (Net.suspected_nodes net_s)
+
+(* --- Net: loss, slowness, deadline --------------------------------- *)
+
+let test_net_total_loss_fails () =
+  let _, rings, overlay = build_crescendo ~n:200 60 in
+  let src, dst, _ = multi_hop_pair overlay ~n:200 ~min_hops:2 in
+  let plan = Fault_plan.create ~loss:1.0 ~n:200 () in
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings ~rng:(Rng.create 61) ~node_latency:oracle
+      overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "failed" true (r.Async_route.status = Async_route.Failed);
+  Alcotest.(check bool) "timed out along the way" true (r.Async_route.timeouts > 0);
+  Alcotest.(check bool) "lost messages counted" true
+    (r.Async_route.losses = r.Async_route.messages && r.Async_route.losses > 0)
+
+let test_net_partial_loss_recovers () =
+  let _, rings, overlay = build_crescendo ~n:200 62 in
+  let plan = Fault_plan.create ~loss:0.3 ~n:200 () in
+  let net =
+    Net.create ~plan ~rings ~rng:(Rng.create 63) ~node_latency:oracle overlay
+  in
+  let rng = Rng.create 64 in
+  let delivered = ref 0 and retried = ref 0 in
+  for _ = 1 to 60 do
+    let src = Rng.int_below rng 200 and dst = Rng.int_below rng 200 in
+    let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+    if Async_route.delivered r then incr delivered;
+    retried := !retried + r.Async_route.retries
+  done;
+  Alcotest.(check bool) "most lookups survive 30% loss" true (!delivered >= 55);
+  Alcotest.(check bool) "retries did the work" true (!retried > 0)
+
+let test_net_routes_around_slow_node () =
+  let _, rings, overlay = build_crescendo ~n:200 65 in
+  let src, dst, route = multi_hop_pair overlay ~n:200 ~min_hops:2 in
+  let slow = route.Route.nodes.(1) in
+  let plan = Fault_plan.none ~n:200 in
+  (* Slower than the timeout: indistinguishable from crashed. *)
+  Fault_plan.slow plan slow ~factor:1e6;
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings ~rng:(Rng.create 66) ~node_latency:oracle
+      overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "delivered" true (Async_route.delivered r);
+  Alcotest.(check bool) "avoids the slow node" false (Route.mem r.Async_route.route slow);
+  Alcotest.(check bool) "paid timeouts to learn" true (r.Async_route.timeouts > 0)
+
+let test_net_deadline () =
+  let _, rings, overlay = build_crescendo ~n:200 67 in
+  let src, dst, _ = multi_hop_pair overlay ~n:200 ~min_hops:2 in
+  (* Total loss and a generous retry budget: the lookup can only die at
+     the deadline. *)
+  let policy = { fast_policy with Rpc.max_retries = 1000; deadline_ms = 5000.0 } in
+  let plan = Fault_plan.create ~loss:1.0 ~n:200 () in
+  let net =
+    Net.create ~policy ~plan ~rings ~rng:(Rng.create 68) ~node_latency:oracle overlay
+  in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "failed" true (r.Async_route.status = Async_route.Failed);
+  Alcotest.(check (option string)) "at the deadline" (Some "deadline")
+    (Option.map Async_route.failure_to_string r.Async_route.failure);
+  Alcotest.(check bool) "wall clock clamped to deadline" true
+    (r.Async_route.wall_ms <= 5000.0 +. 1e-9)
+
+(* --- Net: determinism, validation, telemetry ----------------------- *)
+
+let test_net_deterministic () =
+  let run () =
+    let _, rings, overlay = build_crescendo ~n:200 69 in
+    let plan = Fault_plan.create ~loss:0.2 ~n:200 () in
+    Fault_plan.crash_random plan (Rng.create 70) ~fraction:0.15 ();
+    let net =
+      Net.create ~plan ~rings ~rng:(Rng.create 71) ~node_latency:oracle overlay
+    in
+    let rng = Rng.create 72 in
+    let out = ref [] in
+    for _ = 1 to 80 do
+      let src = Rng.int_below rng 200 and dst = Rng.int_below rng 200 in
+      if not (Fault_plan.is_crashed plan src) then begin
+        let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+        out :=
+          ( Async_route.status_to_string r.Async_route.status,
+            Array.to_list r.Async_route.route.Route.nodes,
+            r.Async_route.wall_ms,
+            r.Async_route.messages )
+          :: !out
+      end
+    done;
+    List.rev !out
+  in
+  if run () <> run () then Alcotest.fail "same seed, different simulation"
+
+let test_net_validation () =
+  let _, rings, overlay = build_crescendo ~n:64 73 in
+  let plan = Fault_plan.none ~n:64 in
+  Fault_plan.crash plan 3;
+  let net = Net.create ~plan ~rings ~rng:(Rng.create 74) ~node_latency:oracle overlay in
+  Alcotest.check_raises "crashed source" (Invalid_argument "Net.lookup: crashed source")
+    (fun () -> ignore (Net.lookup net ~src:3 ~key:(Overlay.id overlay 0)));
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Net.create: plan/overlay size mismatch")
+    (fun () ->
+      ignore
+        (Net.create ~plan:(Fault_plan.none ~n:10) ~rng:(Rng.create 75)
+           ~node_latency:oracle overlay));
+  Alcotest.check_raises "bad leaf width"
+    (Invalid_argument "Net.create: leaf_width must be >= 1") (fun () ->
+      ignore
+        (Net.create ~leaf_width:0 ~rng:(Rng.create 76) ~node_latency:oracle overlay))
+
+let test_net_reanchor_candidate () =
+  let pop = make_universe ~levels:1 ~n:64 77 in
+  let rings = Rings.build pop in
+  let overlay = Crescendo.build rings in
+  let succ = (Canon_sim.Leaf_sets.successors rings ~node:0 ~width:4).(0) in
+  let with_rings =
+    Net.create ~rings ~rng:(Rng.create 78) ~node_latency:oracle overlay
+  in
+  (* Toward a far key, the candidate is the nearest ring successor. *)
+  let far = Id.add (Overlay.id overlay 0) (Id.space - 1) in
+  Alcotest.(check (option int)) "nearest successor" (Some succ.(0))
+    (Net.reanchor_candidate with_rings ~at:0 ~key:far);
+  Alcotest.(check (option int)) "own key: no candidate" None
+    (Net.reanchor_candidate with_rings ~at:0 ~key:(Overlay.id overlay 0));
+  let without =
+    Net.create ~rng:(Rng.create 79) ~node_latency:oracle overlay
+  in
+  Alcotest.(check (option int)) "no rings, no candidate" None
+    (Net.reanchor_candidate without ~at:0 ~key:far)
+
+let test_net_telemetry () =
+  let _, rings, overlay = build_crescendo ~n:64 80 in
+  let net = Net.create ~rings ~rng:(Rng.create 81) ~node_latency:oracle overlay in
+  let lookups_before = Metrics.value (Metrics.counter "net.lookups") in
+  let trace = Trace.create () in
+  Trace.set_ambient (Some trace);
+  Fun.protect
+    ~finally:(fun () -> Trace.set_ambient None)
+    (fun () ->
+      let r = Net.lookup net ~src:1 ~key:(Overlay.id overlay 40) in
+      Alcotest.(check int) "one lookup counted" (lookups_before + 1)
+        (Metrics.value (Metrics.counter "net.lookups"));
+      match Trace.spans trace with
+      | [ span ] ->
+          Alcotest.(check string) "span kind" "canon_net.lookup" span.Span.kind;
+          Alcotest.(check (array int)) "span path is the realized path"
+            r.Async_route.route.Route.nodes (Span.path span)
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+let suites =
+  [
+    ( "net-clock",
+      [ Alcotest.test_case "monotone virtual clock" `Quick test_clock ] );
+    ( "net-rpc",
+      [
+        Alcotest.test_case "validate" `Quick test_rpc_validate;
+        Alcotest.test_case "backoff growth and jitter" `Quick test_rpc_backoff;
+      ] );
+    ( "net-fault-plan",
+      [
+        Alcotest.test_case "basics" `Quick test_fault_plan_basics;
+        Alcotest.test_case "loss draws" `Quick test_fault_plan_draw_lost;
+        Alcotest.test_case "crash domain" `Quick test_fault_plan_crash_domain;
+        Alcotest.test_case "crash random with protect" `Quick
+          test_fault_plan_crash_random_protect;
+      ] );
+    ( "net-lookup",
+      [
+        Alcotest.test_case "fault-free = synchronous greedy" `Quick
+          test_net_fault_free_matches_sync;
+        Alcotest.test_case "self lookup" `Quick test_net_self_lookup;
+        Alcotest.test_case "reroutes around a crashed hop" `Quick
+          test_net_reroutes_around_crashed_hop;
+        Alcotest.test_case "leaf-set re-anchor after multi-successor failure" `Quick
+          test_net_reanchors_through_leaf_set;
+        Alcotest.test_case "blocked without leaf sets" `Quick
+          test_net_fails_without_leaf_sets;
+        Alcotest.test_case "suspicion scopes" `Quick test_net_suspicion_modes;
+        Alcotest.test_case "total loss fails" `Quick test_net_total_loss_fails;
+        Alcotest.test_case "partial loss recovers" `Quick test_net_partial_loss_recovers;
+        Alcotest.test_case "routes around a slow node" `Quick
+          test_net_routes_around_slow_node;
+        Alcotest.test_case "deadline" `Quick test_net_deadline;
+        Alcotest.test_case "deterministic" `Quick test_net_deterministic;
+        Alcotest.test_case "validation" `Quick test_net_validation;
+        Alcotest.test_case "reanchor candidate" `Quick test_net_reanchor_candidate;
+        Alcotest.test_case "telemetry" `Quick test_net_telemetry;
+      ] );
+  ]

@@ -35,6 +35,43 @@ let test_event_queue_invalid () =
   Alcotest.check_raises "nan" (Invalid_argument "Event_queue.push: bad time") (fun () ->
       Event_queue.push q ~time:Float.nan ())
 
+let test_event_queue_pop_until () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun (t, x) -> Event_queue.push q ~time:t x)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (2.0, "b2"); (5.0, "e") ];
+  Alcotest.(check (list string)) "nothing due" []
+    (List.map snd (Event_queue.pop_until q ~time:0.5));
+  Alcotest.(check int) "nothing popped" 5 (Event_queue.size q);
+  Alcotest.(check (list string)) "due batch, FIFO among ties" [ "a"; "b"; "b2" ]
+    (List.map snd (Event_queue.pop_until q ~time:2.0));
+  Alcotest.(check int) "two left" 2 (Event_queue.size q);
+  Alcotest.(check (list string)) "rest" [ "c"; "e" ]
+    (List.map snd (Event_queue.pop_until q ~time:infinity));
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q);
+  Alcotest.(check (list string)) "empty queue" []
+    (List.map snd (Event_queue.pop_until q ~time:10.0));
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.pop_until: bad time")
+    (fun () -> ignore (Event_queue.pop_until q ~time:Float.nan))
+
+(* The FIFO tie-break pin: draining through pop_until must equal a
+   stable sort of the insertion sequence by timestamp — equal
+   timestamps stay in insertion order. Timestamps are drawn from a tiny
+   set so ties are plentiful. *)
+let prop_pop_until_is_stable_sort =
+  QCheck.Test.make ~count:300 ~name:"pop_until = stable sort by time"
+    QCheck.(pair (list (int_bound 3)) (int_bound 3))
+    (fun (times, cut) ->
+      let q = Event_queue.create () in
+      let events = List.mapi (fun i t -> (Float.of_int t, i)) times in
+      List.iter (fun (t, i) -> Event_queue.push q ~time:t i) events;
+      let cut = Float.of_int cut in
+      let drained =
+        Event_queue.pop_until q ~time:cut @ Event_queue.pop_until q ~time:infinity
+      in
+      let expected = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events in
+      drained = expected)
+
 let test_event_queue_stress () =
   let q = Event_queue.create () in
   let rng = Rng.create 3 in
@@ -208,6 +245,8 @@ let suites =
         Alcotest.test_case "order" `Quick test_event_queue_order;
         Alcotest.test_case "fifo ties" `Quick test_event_queue_fifo_ties;
         Alcotest.test_case "invalid times" `Quick test_event_queue_invalid;
+        Alcotest.test_case "pop_until" `Quick test_event_queue_pop_until;
+        QCheck_alcotest.to_alcotest prop_pop_until_is_stable_sort;
         Alcotest.test_case "stress" `Quick test_event_queue_stress;
       ] );
     ( "maintenance",
