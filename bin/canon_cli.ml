@@ -105,6 +105,59 @@ let robustness_cmd =
         (const run $ fail_frac_arg $ loss_arg $ quick_arg $ seed_arg $ trace_arg
        $ sample_arg $ metrics_arg))
 
+(* The durability sweep adds replication knobs on top of the standard
+   experiment flags. *)
+let durability_cmd =
+  let fail_frac_arg =
+    let doc =
+      "Measure a single crashed-node fraction $(docv) instead of the default sweep \
+       (0.1, 0.2, 0.3, 0.5). The whole-domain outage row is always included."
+    in
+    Arg.(value & opt (some float) None & info [ "fail-frac" ] ~docv:"FRAC" ~doc)
+  in
+  let replicas_arg =
+    let doc = "Replication degree $(docv) instead of the default sweep (2 and 3)." in
+    Arg.(value & opt (some int) None & info [ "replicas" ] ~docv:"K" ~doc)
+  in
+  let spread_arg =
+    let doc =
+      "Replica placement policy: $(b,flat) (k-successor inside the storage domain) \
+       or $(b,sibling) (one replica per distinct leaf domain, siblings first). \
+       Default: both."
+    in
+    let policy =
+      Arg.enum
+        [
+          ("flat", Canon_storage.Replica_set.Flat);
+          ("sibling", Canon_storage.Replica_set.Sibling);
+        ]
+    in
+    Arg.(value & opt (some policy) None & info [ "spread" ] ~docv:"POLICY" ~doc)
+  in
+  let run fail_frac replicas spread =
+    let bad_prob = function Some f when f < 0.0 || f > 1.0 -> true | Some _ | None -> false in
+    if bad_prob fail_frac then
+      fun _ _ _ _ _ -> `Error (false, "--fail-frac must be in [0, 1]")
+    else if (match replicas with Some k when k < 1 -> true | _ -> false) then
+      fun _ _ _ _ _ -> `Error (false, "--replicas must be >= 1")
+    else
+      run_experiment (fun ~scale ~seed ->
+          Durability.run_with
+            ?fail_fracs:(Option.map (fun f -> [ f ]) fail_frac)
+            ?ks:(Option.map (fun k -> [ k ]) replicas)
+            ?spreads:(Option.map (fun s -> [ s ]) spread)
+            ~scale ~seed ())
+  in
+  let doc =
+    "Data durability: keys-surviving fraction vs crashed-node fraction and a \
+     whole-domain outage, flat successor-replication vs hierarchical sibling-spread."
+  in
+  Cmd.v (Cmd.info "durability" ~doc)
+    Term.(
+      ret
+        (const run $ fail_frac_arg $ replicas_arg $ spread_arg $ quick_arg $ seed_arg
+       $ trace_arg $ sample_arg $ metrics_arg))
+
 let commands =
   [
     experiment_cmd "fig3" ~doc:"Figure 3: average #links/node vs network size." Fig3.run;
@@ -137,6 +190,7 @@ let commands =
     experiment_cmd "skipnet" ~doc:"SkipNet vs Crescendo: locality and convergence (sec. 6)."
       Skipnet_bench.run;
     robustness_cmd;
+    durability_cmd;
   ]
 
 let default =

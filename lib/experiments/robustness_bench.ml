@@ -28,9 +28,17 @@ let live_nodes plan ~n =
   Array.of_list
     (List.filter (fun v -> not (Fault_plan.is_crashed plan v)) (List.init n Fun.id))
 
-let run_with ?(fail_fracs = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]) ?(loss = 0.01) ~scale ~seed () =
-  let n = match scale with `Paper -> 8192 | `Quick -> 2048 in
-  let probes = match scale with `Paper -> 1500 | `Quick -> 300 in
+let run_with ?(fail_fracs = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]) ?(loss = 0.01) ?n ?probes
+    ~scale ~seed () =
+  let n =
+    match (n, scale) with Some n, _ -> n | None, `Paper -> 8192 | None, `Quick -> 2048
+  in
+  let probes =
+    match (probes, scale) with
+    | Some p, _ -> p
+    | None, `Paper -> 1500
+    | None, `Quick -> 300
+  in
   let setup = Common.topology_setup ~seed in
   let pop = Common.topology_population ~seed setup ~n in
   let node_latency = Common.node_latency setup pop in

@@ -22,9 +22,13 @@ val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t
 val run_with :
   ?fail_fracs:float list ->
   ?loss:float ->
+  ?n:int ->
+  ?probes:int ->
   scale:Common.scale ->
   seed:int ->
   unit ->
   Canon_stats.Table.t
 (** [run] with a custom failure-fraction list and loss probability
-    (the CLI's [--fail-frac] / [--loss]). *)
+    (the CLI's [--fail-frac] / [--loss]); [n] / [probes] override the
+    scale's population and probe count (the determinism regression test
+    runs a small sweep twice and compares traces byte for byte). *)

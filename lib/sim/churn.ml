@@ -45,13 +45,19 @@ type event =
   | Arrival
   | Departure
 
-let run rng pop config =
+type hook =
+  | Init of int array
+  | Join of int
+  | Leave of int
+
+let run ?(on_event = fun (_ : hook) -> ()) rng pop config =
   let n = Population.size pop in
   if config.initial_nodes > n then invalid_arg "Churn.run: initial_nodes exceeds population";
   let order = Array.init n Fun.id in
   Rng.shuffle_in_place rng order;
   let initial = Array.sub order 0 config.initial_nodes in
   let m = Maintenance.create pop ~present:initial in
+  on_event (Init (Array.copy initial));
   (* Waiting room of nodes that may still join, in shuffled order. *)
   let waiting = ref (Array.to_list (Array.sub order config.initial_nodes (n - config.initial_nodes))) in
   let queue = Event_queue.create () in
@@ -106,7 +112,8 @@ let run rng pop config =
                 let stats = Maintenance.join m node in
                 join_msgs := !join_msgs + Maintenance.total stats;
                 incr joins;
-                Metrics.incr joins_counter)
+                Metrics.incr joins_counter;
+                on_event (Join node))
         | Departure ->
             let live = Maintenance.present m in
             (* Keep a quorum so probes stay meaningful. *)
@@ -115,7 +122,8 @@ let run rng pop config =
               let stats = Maintenance.leave m node in
               leave_msgs := !leave_msgs + Maintenance.total stats;
               incr leaves;
-              Metrics.incr leaves_counter
+              Metrics.incr leaves_counter;
+              on_event (Leave node)
             end);
         for _ = 1 to config.probes_per_event do
           probe ()

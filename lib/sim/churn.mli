@@ -25,9 +25,25 @@ type report = {
   sim_time : float;
 }
 
+type hook =
+  | Init of int array  (** the shuffled initial membership, before the clock starts *)
+  | Join of int  (** a node just completed the §2.3 join protocol *)
+  | Leave of int  (** a node just completed a graceful leave *)
+      (** Membership events reported to [?on_event] so layers above the
+          overlay (e.g. {!Canon_storage.Replicated_store} re-replication)
+          can track the churned membership. Handlers run after the
+          maintenance protocol settles and must not consume the churn
+          RNG. *)
+
 val default_config : config
 
-val run : Canon_rng.Rng.t -> Canon_overlay.Population.t -> config -> report
+val run :
+  ?on_event:(hook -> unit) ->
+  Canon_rng.Rng.t ->
+  Canon_overlay.Population.t ->
+  config ->
+  report
 (** The population provides the universe of potential nodes (ids and
     hierarchy positions); churn picks which are live. Requires
-    [initial_nodes <= Population.size] and enough headroom for joins. *)
+    [initial_nodes <= Population.size] and enough headroom for joins.
+    [on_event] observes membership changes ({!hook}). *)

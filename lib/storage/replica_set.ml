@@ -1,0 +1,128 @@
+open Canon_idspace
+open Canon_hierarchy
+open Canon_overlay
+
+type spread =
+  | Flat
+  | Sibling
+
+let spread_to_string = function Flat -> "flat" | Sibling -> "sibling"
+
+let spread_of_string = function
+  | "flat" -> Some Flat
+  | "sibling" -> Some Sibling
+  | _ -> None
+
+(* Rank of the member responsible for [key] under the paper's
+   closest-at-or-below rule (the rank-level twin of
+   [Ring.predecessor_of_id]). Requires a non-empty ring. *)
+let responsible_rank ring ~key =
+  let size = Ring.size ring in
+  let r = Ring.rank_at_or_after ring key in
+  if r < size && Id.equal (Ring.id_at ring r) key then r
+  else (r - 1 + size) mod size
+
+(* Walk [ring] clockwise starting at the LIVE member responsible for
+   [key], offering each live, not-yet-taken member to [f]; stop after
+   one full turn or when [f] returns [false].
+
+   When the full-ring responsible is dead, the walk starts at the
+   nearest live member counter-clockwise from it — the node that IS
+   responsible on the ring restricted to live members. This keeps
+   placement identical to what re-replication converges to once the
+   dead members are actually removed from the ring. *)
+let walk_ring ring ~key ~alive ~taken f =
+  let size = Ring.size ring in
+  if size > 0 then begin
+    let r0 = ref (responsible_rank ring ~key) in
+    let back = ref 0 in
+    while !back < size && not (alive (Ring.node_at ring !r0)) do
+      r0 := (!r0 - 1 + size) mod size;
+      incr back
+    done;
+    let continue = ref true in
+    let i = ref 0 in
+    while !continue && !i < size do
+      let v = Ring.node_at ring ((!r0 + !i) mod size) in
+      if alive v && not (Hashtbl.mem taken v) then continue := f v;
+      incr i
+    done
+  end
+
+(* Every leaf domain except [from_leaf], ordered by hierarchical
+   closeness to it: leaves under the parent's other children first, then
+   under the grandparent's, and so on up to the root. *)
+let leaf_sequence tree ~from_leaf =
+  let out = ref [] in
+  let root = Domain_tree.root tree in
+  let d = ref from_leaf in
+  while !d <> root do
+    let p = Domain_tree.parent tree !d in
+    Array.iter
+      (fun c ->
+        if c <> !d then
+          Array.iter (fun l -> out := l :: !out) (Domain_tree.subtree_leaves tree c))
+      (Domain_tree.children tree p);
+    d := p
+  done;
+  List.rev !out
+
+let compute ?(alive = fun _ -> true) rings ~spread ~k ~domain ~key =
+  if k < 1 then invalid_arg "Replica_set.compute: k must be >= 1";
+  let pop = Rings.population rings in
+  let tree = pop.Population.tree in
+  if domain < 0 || domain >= Domain_tree.num_domains tree then
+    invalid_arg "Replica_set.compute: domain out of range";
+  let taken = Hashtbl.create 8 in
+  let holders = ref [] in
+  let count = ref 0 in
+  let take v =
+    Hashtbl.replace taken v ();
+    holders := v :: !holders;
+    incr count
+  in
+  let first_live ring =
+    let found = ref None in
+    walk_ring ring ~key ~alive ~taken (fun v ->
+        found := Some v;
+        false);
+    !found
+  in
+  (match spread with
+  | Flat ->
+      walk_ring (Rings.ring rings domain) ~key ~alive ~taken (fun v ->
+          take v;
+          !count < k)
+  | Sibling ->
+      let primary = first_live (Rings.ring rings domain) in
+      let used_leaves = Hashtbl.create 8 in
+      let start_leaf =
+        match primary with
+        | Some p ->
+            take p;
+            let l = pop.Population.leaf_of_node.(p) in
+            Hashtbl.replace used_leaves l ();
+            l
+        | None ->
+            (* The whole storage domain is dead or empty: spread from its
+               leftmost leaf as if the primary had lived there. *)
+            (Domain_tree.subtree_leaves tree domain).(0)
+      in
+      (* One replica per distinct leaf domain, nearest siblings first. *)
+      List.iter
+        (fun l ->
+          if !count < k && not (Hashtbl.mem used_leaves l) then
+            match first_live (Rings.ring rings l) with
+            | Some v ->
+                take v;
+                Hashtbl.replace used_leaves l ()
+            | None -> ())
+        (leaf_sequence tree ~from_leaf:start_leaf);
+      (* More replicas wanted than live leaf domains: degrade to flat on
+         the global ring rather than under-replicate. *)
+      if !count < k then
+        walk_ring (Rings.ring rings (Domain_tree.root tree)) ~key ~alive ~taken
+          (fun v ->
+            take v;
+            !count < k));
+  Array.of_list (List.rev !holders)

@@ -1,0 +1,58 @@
+(** Replica placement for the hierarchical store.
+
+    A key stored in domain [Ds] has a {e primary} — the node of [Ds]
+    responsible for the key under the paper's closest-at-or-below rule
+    ({!Canon_overlay.Rings.responsible}) — plus [k - 1] extra replicas.
+    Two placement policies:
+
+    - {e flat} (Chord §successor-list replication): the replicas are the
+      first live nodes met walking clockwise from the primary {e within
+      [Ds]'s own ring}. Cheap and local, but a whole-domain outage
+      ([Fault_plan.crash_domain]) takes every copy with it.
+    - {e sibling} (the Canon twist): after the primary, each further
+      replica is forced into a {e distinct leaf domain}, visiting the
+      primary's sibling domains nearest-first (siblings under the
+      parent, then under the grandparent, and so on). Each chosen leaf
+      contributes its own responsible-or-next-live node for the key.
+      When the live leaf domains run out before [k], the remainder is
+      filled from the global ring — so the policy degrades to flat
+      rather than under-replicating.
+
+    Both policies are deterministic (no randomness) and return distinct
+    live nodes, primary-equivalent first. The invariants pinned by the
+    property suite:
+
+    - [length (compute ...)] = [min k live] where [live] counts the
+      policy's universe (the domain's live members for flat, all live
+      nodes for sibling);
+    - under [Sibling], the holders occupy
+      [min (length holders) (live leaf domains)] distinct leaf domains —
+      no two forced-spread replicas share a leaf. *)
+
+open Canon_idspace
+open Canon_overlay
+
+type spread =
+  | Flat  (** k-successor replication inside the storage domain's ring *)
+  | Sibling  (** one replica per distinct leaf domain, siblings first *)
+
+val spread_to_string : spread -> string
+(** ["flat"] / ["sibling"]. *)
+
+val spread_of_string : string -> spread option
+
+val compute :
+  ?alive:(int -> bool) ->
+  Rings.t ->
+  spread:spread ->
+  k:int ->
+  domain:int ->
+  key:Id.t ->
+  int array
+(** [compute rings ~spread ~k ~domain ~key] is the ordered replica set
+    for [key] stored in [domain]: distinct nodes for which [alive] holds
+    (default: everyone), the primary (or its first live stand-in) first,
+    at most [k] of them. Fewer than [k] are returned exactly when the
+    policy's universe has fewer than [k] live nodes; an empty array when
+    it has none. Raises [Invalid_argument] when [k < 1] or [domain] is
+    out of range. *)

@@ -1,0 +1,367 @@
+(* A small property harness for the replication layer: deterministic
+   seeded generators over random (ragged) hierarchies, populations and
+   fault plans, with shrinking by halving the node count.
+
+   Unlike the QCheck properties elsewhere in the suite, these scenarios
+   need several coupled structures (tree, population, rings, crash set)
+   derived from one seed, and the natural shrink is "same shape, half
+   the nodes" — so the harness re-derives the whole scenario at n/2
+   rather than shrinking the structures independently. Every check is
+   pinned to an explicit seed; failures report the case seed and the
+   smallest failing population size. *)
+
+open Canon_idspace
+open Canon_hierarchy
+open Canon_overlay
+open Canon_core
+open Canon_storage
+open Canon_net
+module Rng = Canon_rng.Rng
+
+type scenario = {
+  case_seed : int;
+  n : int;
+  tree : Domain_tree.t;
+  pop : Population.t;
+  rings : Rings.t;
+}
+
+(* Random ragged tree: depth at most 3, fanout 2..4, subtrees collapse
+   into leaves with probability rising with depth. *)
+let rec gen_spec rng ~depth =
+  if depth >= 3 || (depth > 0 && Rng.float rng < 0.3 *. Float.of_int depth) then
+    Domain_tree.Leaf
+  else
+    let fanout = 2 + Rng.int_below rng 3 in
+    Domain_tree.Node (List.init fanout (fun _ -> gen_spec rng ~depth:(depth + 1)))
+
+let scenario ~case_seed ~n =
+  let rng = Rng.create case_seed in
+  let tree = Domain_tree.of_spec (gen_spec rng ~depth:0) in
+  let policy =
+    if Rng.bool rng then Canon_hierarchy.Placement.Uniform
+    else Canon_hierarchy.Placement.Zipfian 1.25
+  in
+  let pop = Population.create rng ~tree ~policy ~n in
+  { case_seed; n; tree; pop; rings = Rings.build pop }
+
+(* A crash set over the population: each node independently with a
+   random probability in [0, 0.5), at least one node left standing. *)
+let gen_crashes rng ~n =
+  let crashed = Array.make n false in
+  let frac = Rng.float rng *. 0.5 in
+  for v = 0 to n - 1 do
+    if Rng.float rng < frac then crashed.(v) <- true
+  done;
+  if Array.for_all Fun.id crashed then crashed.(Rng.int_below rng n) <- false;
+  crashed
+
+(* A random storage domain guaranteed non-empty: an ancestor of a random
+   node's leaf, at a random depth. Also returns the node. *)
+let gen_domain rng sc =
+  let node = Rng.int_below rng sc.n in
+  let leaf = sc.pop.Population.leaf_of_node.(node) in
+  let depth = Rng.int_below rng (Domain_tree.depth sc.tree leaf + 1) in
+  (node, Domain_tree.ancestor_at_depth sc.tree leaf depth)
+
+(* Run [prop] on [count] scenarios derived from [seed]; on failure,
+   halve the node count (same case seed) while the property still fails
+   and report the smallest failing case. *)
+let check ~count ~seed ~min_n ~max_n prop () =
+  for case = 0 to count - 1 do
+    let case_seed = seed + (1000 * case) in
+    let n = min_n + Rng.int_below (Rng.create (case_seed lxor 0x5bd1)) (max_n - min_n + 1) in
+    let fails n =
+      match prop (scenario ~case_seed ~n) with
+      | Ok () -> None
+      | Error msg -> Some msg
+      | exception e -> Some (Printexc.to_string e)
+    in
+    match fails n with
+    | None -> ()
+    | Some first_msg ->
+        let rec shrink n msg =
+          let half = n / 2 in
+          if half < min_n then (n, msg)
+          else match fails half with Some msg' -> shrink half msg' | None -> (n, msg)
+        in
+        let smallest, msg = shrink n first_msg in
+        Alcotest.failf "case seed %d: fails at n = %d (shrunk from n = %d): %s"
+          case_seed smallest n msg
+  done
+
+let distinct_count xs =
+  List.length (List.sort_uniq compare (Array.to_list xs))
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* --- placement ----------------------------------------------------- *)
+
+(* Flat: |holders| = min k (live members of the domain ring), all live,
+   all distinct. *)
+let prop_flat_count sc =
+  let rng = Rng.create (sc.case_seed + 1) in
+  let crashed = gen_crashes rng ~n:sc.n in
+  let alive v = not crashed.(v) in
+  let k = 1 + Rng.int_below rng 6 in
+  let _, domain = gen_domain rng sc in
+  let key = Id.random rng in
+  let holders =
+    Replica_set.compute ~alive sc.rings ~spread:Replica_set.Flat ~k ~domain ~key
+  in
+  let live_members =
+    Array.fold_left
+      (fun acc v -> if alive v then acc + 1 else acc)
+      0
+      (Ring.members (Rings.ring sc.rings domain))
+  in
+  if distinct_count holders <> Array.length holders then err "duplicate holders"
+  else if not (Array.for_all alive holders) then err "crashed holder"
+  else if Array.length holders <> min k live_members then
+    err "flat: %d holders, expected min %d %d" (Array.length holders) k live_members
+  else Ok ()
+
+(* Sibling: the universe is every live node (the global-ring fallback
+   guarantees it), so |holders| = min k (all live). *)
+let prop_sibling_count sc =
+  let rng = Rng.create (sc.case_seed + 2) in
+  let crashed = gen_crashes rng ~n:sc.n in
+  let alive v = not crashed.(v) in
+  let k = 1 + Rng.int_below rng 6 in
+  let _, domain = gen_domain rng sc in
+  let key = Id.random rng in
+  let holders =
+    Replica_set.compute ~alive sc.rings ~spread:Replica_set.Sibling ~k ~domain ~key
+  in
+  let live = Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 crashed in
+  if distinct_count holders <> Array.length holders then err "duplicate holders"
+  else if not (Array.for_all alive holders) then err "crashed holder"
+  else if Array.length holders <> min k live then
+    err "sibling: %d holders, expected min %d %d" (Array.length holders) k live
+  else Ok ()
+
+(* No two forced-spread replicas share a leaf domain: the holders occupy
+   min |holders| (leaf domains with a live node) distinct leaves. *)
+let prop_sibling_distinct_leaves sc =
+  let rng = Rng.create (sc.case_seed + 3) in
+  let crashed = gen_crashes rng ~n:sc.n in
+  let alive v = not crashed.(v) in
+  let k = 1 + Rng.int_below rng 6 in
+  let _, domain = gen_domain rng sc in
+  let key = Id.random rng in
+  let holders =
+    Replica_set.compute ~alive sc.rings ~spread:Replica_set.Sibling ~k ~domain ~key
+  in
+  let holder_leaves = Array.map (fun v -> sc.pop.Population.leaf_of_node.(v)) holders in
+  let live_leaves =
+    Array.fold_left
+      (fun acc l ->
+        if Array.exists alive (Ring.members (Rings.ring sc.rings l)) then acc + 1
+        else acc)
+      0 (Domain_tree.leaves sc.tree)
+  in
+  let expected = min (Array.length holders) live_leaves in
+  if distinct_count holder_leaves <> expected then
+    err "sibling spread: %d distinct leaves for %d holders, expected %d"
+      (distinct_count holder_leaves) (Array.length holders) expected
+  else Ok ()
+
+(* Flat placement is exactly the run of live successors starting at the
+   closest-at-or-below member — recomputed here from the sorted id list
+   rather than through the ring walk. *)
+let prop_flat_is_successor_run sc =
+  let rng = Rng.create (sc.case_seed + 4) in
+  let crashed = gen_crashes rng ~n:sc.n in
+  let alive v = not crashed.(v) in
+  let k = 1 + Rng.int_below rng 6 in
+  let _, domain = gen_domain rng sc in
+  let key = Id.random rng in
+  let holders =
+    Replica_set.compute ~alive sc.rings ~spread:Replica_set.Flat ~k ~domain ~key
+  in
+  let live_members =
+    Array.of_list
+      (List.filter alive (Array.to_list (Ring.members (Rings.ring sc.rings domain))))
+  in
+  (* members are in increasing id order; the primary is the last one
+     with id <= key, wrapping to the largest id when none is. *)
+  let m = Array.length live_members in
+  let expected =
+    if m = 0 then [||]
+    else begin
+      let start = ref (m - 1) in
+      Array.iteri
+        (fun i v -> if Id.compare sc.pop.Population.ids.(v) key <= 0 then start := i)
+        live_members;
+      (* [start] is the last index with id <= key thanks to the upward
+         scan; when none qualifies it stays at m - 1 (the wrap). *)
+      Array.init (min k m) (fun i -> live_members.((!start + i) mod m))
+    end
+  in
+  if holders <> expected then
+    err "flat successor run mismatch: [%s] vs expected [%s]"
+      (String.concat ";" (List.map string_of_int (Array.to_list holders)))
+      (String.concat ";" (List.map string_of_int (Array.to_list expected)))
+  else Ok ()
+
+(* Placement is a pure function: recomputing (even after unrelated RNG
+   draws) yields the identical array, and the sibling primary is the
+   domain's responsible node whenever that node is alive. *)
+let prop_placement_deterministic sc =
+  let rng = Rng.create (sc.case_seed + 5) in
+  let crashed = gen_crashes rng ~n:sc.n in
+  let alive v = not crashed.(v) in
+  let k = 1 + Rng.int_below rng 6 in
+  let _, domain = gen_domain rng sc in
+  let key = Id.random rng in
+  let compute spread = Replica_set.compute ~alive sc.rings ~spread ~k ~domain ~key in
+  let flat1 = compute Replica_set.Flat and sib1 = compute Replica_set.Sibling in
+  ignore (Rng.float rng);
+  let flat2 = compute Replica_set.Flat and sib2 = compute Replica_set.Sibling in
+  let responsible = Rings.responsible sc.rings ~domain ~key in
+  if flat1 <> flat2 || sib1 <> sib2 then err "placement not deterministic"
+  else if
+    alive responsible
+    && (flat1.(0) <> responsible || sib1.(0) <> responsible)
+  then err "live responsible node %d is not the primary" responsible
+  else Ok ()
+
+(* --- the replicated store ------------------------------------------ *)
+
+(* Fault-free round trip in direct mode: every put is fully
+   acknowledged, every get returns the latest value, and the copy set
+   equals the holder set. *)
+let prop_put_get_roundtrip sc =
+  let rng = Rng.create (sc.case_seed + 6) in
+  let k = 1 + Rng.int_below rng 4 in
+  let spread = if Rng.bool rng then Replica_set.Flat else Replica_set.Sibling in
+  let store = Replicated_store.create ~k ~spread sc.rings in
+  let check_one i =
+    let writer, domain = gen_domain rng sc in
+    let key = Id.random rng in
+    let value = Printf.sprintf "v%d" i in
+    let acks = Replicated_store.put store ~writer ~key ~value ~storage_domain:domain in
+    let acks2 =
+      Replicated_store.put store ~writer ~key ~value:(value ^ "'") ~storage_domain:domain
+    in
+    let holders = Replicated_store.holders store ~key in
+    let querier = Rng.int_below rng sc.n in
+    if acks <> Array.length holders || acks2 <> acks then
+      err "key %d: %d/%d acks for %d holders" i acks acks2 (Array.length holders)
+    else if acks = 0 then err "key %d: unacknowledged in a fault-free universe" i
+    else if Replicated_store.get store ~querier ~key <> Some (value ^ "'") then
+      err "key %d: stale or missing read" i
+    else if Replicated_store.copies store ~key <> Array.of_list (List.sort compare (Array.to_list holders))
+    then err "key %d: copies diverge from holders" i
+    else Ok ()
+  in
+  let rec go i = if i >= 8 then Ok () else match check_one i with Ok () -> go (i + 1) | e -> e in
+  go 0
+
+let oracle u v = if u = v then 0.0 else 10.0 +. Float.of_int (((u * 13) + (v * 7)) mod 20)
+
+let fast_policy =
+  {
+    Rpc.timeout_ms = 100.0;
+    max_retries = 1;
+    backoff_base_ms = 10.0;
+    backoff_factor = 2.0;
+    jitter = 0.0;
+    deadline_ms = 60_000.0;
+  }
+
+(* After any single fault-plan event (one node crash or one whole-leaf
+   outage), a read of every key succeeds from a live querier and
+   read-repair restores the invariant: the live copy holders are exactly
+   the current ideal replica set, all at the latest version. *)
+let prop_read_repair_restores_invariant sc =
+  let rng = Rng.create (sc.case_seed + 7) in
+  let plan = Fault_plan.none ~n:sc.n in
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings:sc.rings ~rng:(Rng.split rng)
+      ~node_latency:oracle
+      (Crescendo.build sc.rings)
+  in
+  let k = 2 + Rng.int_below rng 2 in
+  let store = Replicated_store.create ~net ~k ~spread:Replica_set.Sibling sc.rings in
+  let keys =
+    Array.init 6 (fun i ->
+        let writer = Rng.int_below rng sc.n in
+        let key = Id.random rng in
+        let domain = sc.pop.Population.leaf_of_node.(writer) in
+        let acks =
+          Replicated_store.put store ~writer ~key
+            ~value:(Printf.sprintf "v%d" i)
+            ~storage_domain:domain
+        in
+        if acks = 0 then failwith "fault-free put not acknowledged";
+        (key, Printf.sprintf "v%d" i))
+  in
+  (* the single fault event *)
+  if Rng.bool rng then Fault_plan.crash plan (Rng.int_below rng sc.n)
+  else begin
+    let leaves = Domain_tree.leaves sc.tree in
+    let victim = leaves.(Rng.int_below rng (Array.length leaves)) in
+    Fault_plan.crash_domain plan sc.pop ~domain:victim
+  end;
+  let live =
+    Array.of_list
+      (List.filter
+         (fun v -> not (Fault_plan.is_crashed plan v))
+         (List.init sc.n Fun.id))
+  in
+  if Array.length live = 0 then Ok () (* n = 1 and its node crashed *)
+  else begin
+    let check_key (key, value) =
+      let querier = Rng.pick rng live in
+      match Replicated_store.get store ~querier ~key with
+      | None -> err "key unreadable after a single fault event"
+      | Some got when got <> value -> err "read %S, expected %S" got value
+      | Some _ ->
+          let holders = Replicated_store.holders store ~key in
+          let latest = Replicated_store.version store ~key in
+          let all_fresh =
+            Array.for_all
+              (fun h ->
+                Replicated_store.stored store ~node:h ~key = Some (value, latest))
+              holders
+          in
+          let live_copies =
+            List.filter
+              (fun c -> not (Fault_plan.is_crashed plan c))
+              (Array.to_list (Replicated_store.copies store ~key))
+          in
+          if not all_fresh then err "a current holder is stale after read-repair"
+          else if live_copies <> List.sort compare (Array.to_list holders) then
+            err "live copies [%s] differ from holders [%s]"
+              (String.concat ";" (List.map string_of_int live_copies))
+              (String.concat ";"
+                 (List.map string_of_int (Array.to_list holders)))
+          else Ok ()
+    in
+    Array.fold_left
+      (fun acc kv -> match acc with Ok () -> check_key kv | e -> e)
+      (Ok ()) keys
+  end
+
+let suites =
+  [
+    ( "prop.replication",
+      [
+        Alcotest.test_case "flat holder count = min k live" `Quick
+          (check ~count:50 ~seed:9101 ~min_n:4 ~max_n:160 prop_flat_count);
+        Alcotest.test_case "sibling holder count = min k live" `Quick
+          (check ~count:50 ~seed:9202 ~min_n:4 ~max_n:160 prop_sibling_count);
+        Alcotest.test_case "sibling replicas in distinct leaf domains" `Quick
+          (check ~count:50 ~seed:9303 ~min_n:4 ~max_n:160 prop_sibling_distinct_leaves);
+        Alcotest.test_case "flat placement = live successor run" `Quick
+          (check ~count:50 ~seed:9404 ~min_n:4 ~max_n:160 prop_flat_is_successor_run);
+        Alcotest.test_case "placement deterministic, primary = responsible" `Quick
+          (check ~count:50 ~seed:9505 ~min_n:4 ~max_n:160 prop_placement_deterministic);
+        Alcotest.test_case "put/get round trip, copies = holders" `Quick
+          (check ~count:25 ~seed:9606 ~min_n:4 ~max_n:120 prop_put_get_roundtrip);
+        Alcotest.test_case "read-repair restores invariant after one fault" `Quick
+          (check ~count:12 ~seed:9707 ~min_n:8 ~max_n:96
+             prop_read_repair_restores_invariant);
+      ] );
+  ]

@@ -17,5 +17,7 @@ let () =
          Test_extensions.suites;
          Test_skipnet.suites;
          Test_random_hierarchies.suites;
+         Prop.suites;
+         Test_replication.suites;
          Test_experiments.suites;
        ])

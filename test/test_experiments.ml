@@ -191,6 +191,50 @@ let test_caching_shape () =
       if saving < 0.2 then Alcotest.fail "caching saves too little")
     (Table.rows t)
 
+module Trace = Canon_telemetry.Trace
+module Sink = Canon_telemetry.Sink
+
+(* Determinism regression: the same seed must reproduce the robustness
+   sweep bit for bit — the rendered table AND the JSONL span trace
+   streamed through the ambient sink. *)
+let test_robustness_deterministic () =
+  let run () =
+    let sink = Sink.memory () in
+    let trace = Trace.create ~sink () in
+    Trace.set_ambient (Some trace);
+    Fun.protect
+      ~finally:(fun () -> Trace.set_ambient None)
+      (fun () ->
+        let t =
+          Robustness_bench.run_with ~fail_fracs:[ 0.2 ] ~loss:0.05 ~n:128 ~probes:40
+            ~scale:`Quick ~seed:7 ()
+        in
+        (Table.rows t, Sink.lines sink))
+  in
+  let rows1, lines1 = run () in
+  let rows2, lines2 = run () in
+  Alcotest.(check (list (list string))) "tables identical" rows1 rows2;
+  Alcotest.(check bool) "spans were traced" true (lines1 <> []);
+  Alcotest.(check (list string)) "JSONL traces byte-identical" lines1 lines2
+
+let test_durability_shape () =
+  let t =
+    Durability.run_with ~fail_fracs:[ 0.2 ] ~ks:[ 2; 3 ] ~n:192 ~keys:200
+      ~scale:`Quick ~seed ()
+  in
+  (* columns: fail frac | flat k=2 | flat k=3 | sibling k=2 | sibling k=3 *)
+  Alcotest.(check int) "two rows" 2 (nrows t);
+  (* Random-crash row: k = 3 never worse than k = 2 — k-holder sets are
+     prefixes of each other, so this holds exactly, not just on average. *)
+  Alcotest.(check bool) "flat k=3 >= k=2" true (cellf t 0 2 >= cellf t 0 1);
+  Alcotest.(check bool) "sibling k=3 >= k=2" true (cellf t 0 4 >= cellf t 0 3);
+  (* Outage row: the containment claim exactly as BENCH.json renders it —
+     sibling spread rides out a whole-leaf-domain crash, flat does not. *)
+  Alcotest.(check string) "sibling k=2 contains the outage" "1.000" (cell t 1 3);
+  Alcotest.(check string) "sibling k=3 contains the outage" "1.000" (cell t 1 4);
+  Alcotest.(check bool) "flat k=2 loses keys" true (cellf t 1 1 < 1.0);
+  Alcotest.(check bool) "flat k=3 loses keys" true (cellf t 1 2 < 1.0)
+
 let suites =
   [
     ( "experiments",
@@ -211,5 +255,7 @@ let suites =
         Alcotest.test_case "fig8 shape" `Slow test_fig8_shape;
         Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
         Alcotest.test_case "caching shape" `Slow test_caching_shape;
+        Alcotest.test_case "robustness determinism" `Slow test_robustness_deterministic;
+        Alcotest.test_case "durability shape" `Slow test_durability_shape;
       ] );
   ]

@@ -54,6 +54,32 @@ let test_event_queue_pop_until () =
   Alcotest.check_raises "nan" (Invalid_argument "Event_queue.pop_until: bad time")
     (fun () -> ignore (Event_queue.pop_until q ~time:Float.nan))
 
+(* Randomized permutations of a batch with heavy ties: each round
+   shuffles (timestamp, payload) pairs where every timestamp is shared
+   by at least three events, pushes them in the shuffled order, and
+   drains through pop_until in two cuts. Among equal timestamps the
+   drain must reproduce the (shuffled) insertion order exactly. *)
+let test_pop_until_permuted_ties () =
+  let rng = Rng.create 41 in
+  for round = 0 to 49 do
+    let events =
+      Array.init 12 (fun i -> (Float.of_int (i / 4), i) (* 3 times x 4 ties *))
+    in
+    Rng.shuffle_in_place rng events;
+    let q = Event_queue.create () in
+    Array.iter (fun (t, x) -> Event_queue.push q ~time:t x) events;
+    let drained =
+      Event_queue.pop_until q ~time:1.0 @ Event_queue.pop_until q ~time:infinity
+    in
+    let expected =
+      List.stable_sort
+        (fun (a, _) (b, _) -> Float.compare a b)
+        (Array.to_list events)
+    in
+    if drained <> expected then
+      Alcotest.failf "round %d: pop_until broke FIFO order among >= 3-way ties" round
+  done
+
 (* The FIFO tie-break pin: draining through pop_until must equal a
    stable sort of the insertion sequence by timestamp — equal
    timestamps stay in insertion order. Timestamps are drawn from a tiny
@@ -246,6 +272,7 @@ let suites =
         Alcotest.test_case "fifo ties" `Quick test_event_queue_fifo_ties;
         Alcotest.test_case "invalid times" `Quick test_event_queue_invalid;
         Alcotest.test_case "pop_until" `Quick test_event_queue_pop_until;
+        Alcotest.test_case "pop_until permuted ties" `Quick test_pop_until_permuted_ties;
         QCheck_alcotest.to_alcotest prop_pop_until_is_stable_sort;
         Alcotest.test_case "stress" `Quick test_event_queue_stress;
       ] );
