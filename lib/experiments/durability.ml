@@ -48,6 +48,8 @@ let run_with ?(fail_fracs = [ 0.1; 0.2; 0.3; 0.5 ])
     | None, `Paper -> 2000
     | None, `Quick -> 400
   in
+  if n < 1 then invalid_arg "Durability.run_with: n < 1";
+  if keys < 1 then invalid_arg "Durability.run_with: keys < 1";
   let pop = Common.hierarchy_population ~seed ~levels:2 ~n in
   let rings = Rings.build pop in
   let configs = List.concat_map (fun s -> List.map (fun k -> (s, k)) ks) spreads in

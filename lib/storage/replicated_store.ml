@@ -214,15 +214,26 @@ let get t ~querier ~key =
                 end)
             probed_holders;
           if !stale > 0 then Metrics.incr stale_reads_counter;
-          (* GC: reachable copies at nodes no longer in the holder set. *)
-          List.iter
-            (fun (v, ok, _) ->
-              if ok then begin
-                Hashtbl.remove t.tables.(v) key;
-                drop_copy meta v;
-                Metrics.incr gc_counter
-              end)
-            probed_extras;
+          (* GC: reachable copies at nodes no longer in the holder set —
+             but only once the fresh version is re-homed on a reachable
+             holder (the repair loop above just did so). With every
+             holder unreachable an extra may hold the only copy of the
+             acknowledged version; collecting it would destroy the
+             write the read just returned. *)
+          let rehomed =
+            Array.exists
+              (fun ((_, ok, _) : int * bool * entry option) -> ok)
+              probed_holders
+          in
+          if rehomed then
+            List.iter
+              (fun (v, ok, _) ->
+                if ok then begin
+                  Hashtbl.remove t.tables.(v) key;
+                  drop_copy meta v;
+                  Metrics.incr gc_counter
+                end)
+              probed_extras;
           Some fresh.value)
 
 (* Re-replication after a membership change (the §2.3 maintenance

@@ -73,7 +73,9 @@ val get : t -> querier:int -> key:Id.t -> string option
 (** The freshest value any reachable replica holds, or [None] for an
     unknown key or when no replica is reachable. Before returning, every
     reachable current holder is brought up to the returned version
-    (read-repair) and reachable ex-holders drop their copies. Raises
+    (read-repair); reachable ex-holders drop their copies only once at
+    least one current holder was reachable (and hence repaired), so a
+    read never destroys the last copy of an acknowledged write. Raises
     [Invalid_argument] when the querier is not live. *)
 
 val holders : t -> key:Id.t -> int array

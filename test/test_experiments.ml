@@ -235,6 +235,17 @@ let test_durability_shape () =
   Alcotest.(check bool) "flat k=2 loses keys" true (cellf t 1 1 < 1.0);
   Alcotest.(check bool) "flat k=3 loses keys" true (cellf t 1 2 < 1.0)
 
+let test_durability_validates () =
+  let run ?n ?keys ?ks () =
+    ignore (Durability.run_with ?n ?keys ?ks ~scale:`Quick ~seed:1 ())
+  in
+  Alcotest.check_raises "keys = 0" (Invalid_argument "Durability.run_with: keys < 1")
+    (fun () -> run ~keys:0 ());
+  Alcotest.check_raises "n = 0" (Invalid_argument "Durability.run_with: n < 1")
+    (fun () -> run ~n:0 ());
+  Alcotest.check_raises "k = 0" (Invalid_argument "Durability.run_with: k < 1")
+    (fun () -> run ~ks:[ 0 ] ())
+
 let suites =
   [
     ( "experiments",
@@ -257,5 +268,6 @@ let suites =
         Alcotest.test_case "caching shape" `Slow test_caching_shape;
         Alcotest.test_case "robustness determinism" `Slow test_robustness_deterministic;
         Alcotest.test_case "durability shape" `Slow test_durability_shape;
+        Alcotest.test_case "durability validation" `Quick test_durability_validates;
       ] );
   ]

@@ -387,6 +387,58 @@ let test_read_repair_pinned_metrics () =
     (counter "replication.read_repairs");
   Alcotest.(check int) "no further GC" (gc0 + 1) (counter "replication.gc_copies")
 
+(* A read that reaches no current holder must not collect an ex-holder's
+   copy — it may be the only copy of the acknowledged version. GC waits
+   until a read re-homes the fresh version on a reachable holder. *)
+let test_gc_waits_for_rehoming () =
+  let pop = make_universe ~n:24 31 in
+  let rings = Rings.build pop in
+  let plan = Fault_plan.none ~n:24 in
+  let net =
+    Net.create ~policy:fast_policy ~plan ~rings ~rng:(Rng.create 32) ~node_latency:oracle
+      (Crescendo.build rings)
+  in
+  let store = Replicated_store.create ~net ~k:2 ~spread:Replica_set.Sibling rings in
+  let key = Id.random (Rng.create 33) in
+  let probe = Replica_set.compute rings ~spread:Replica_set.Sibling ~k:2 ~domain:0 ~key in
+  let a = probe.(0) and b = probe.(1) in
+  ignore (Replicated_store.put store ~writer:a ~key ~value:"v1" ~storage_domain:0);
+  (* b crashes and misses version 2; a stand-in c takes its place. *)
+  Fault_plan.crash plan b;
+  ignore (Replicated_store.put store ~writer:a ~key ~value:"v2" ~storage_domain:0);
+  let c =
+    match
+      List.filter (fun v -> v <> a && v <> b) (sorted (Replicated_store.copies store ~key))
+    with
+    | [ c ] -> c
+    | l -> Alcotest.failf "expected one stand-in, got %d" (List.length l)
+  in
+  Fault_plan.revive plan b;
+  Net.clear_suspicions net;
+  (* Total message loss: current holders a and b are live but
+     unreachable; ex-holder c still reads its own copy. *)
+  Fault_plan.set_loss plan 1.0;
+  let gc0 = counter "replication.gc_copies"
+  and fails0 = counter "replication.read_failures" in
+  Alcotest.(check (option string)) "read served from the ex-holder" (Some "v2")
+    (Replicated_store.get store ~querier:c ~key);
+  Alcotest.(check int) "no read failure" fails0 (counter "replication.read_failures");
+  Alcotest.(check int) "nothing collected while holders were unreachable" gc0
+    (counter "replication.gc_copies");
+  Alcotest.(check (option (pair string int))) "ex-holder keeps its copy" (Some ("v2", 2))
+    (Replicated_store.stored store ~node:c ~key);
+  (* Loss lifts: the next read re-homes v2 on the holders, then GCs c. *)
+  Fault_plan.set_loss plan 0.0;
+  Net.clear_suspicions net;
+  Alcotest.(check (option string)) "read after recovery" (Some "v2")
+    (Replicated_store.get store ~querier:a ~key);
+  Alcotest.(check int) "stand-in collected after re-homing" (gc0 + 1)
+    (counter "replication.gc_copies");
+  Alcotest.(check (option (pair string int))) "ex-holder copy dropped" None
+    (Replicated_store.stored store ~node:c ~key);
+  Alcotest.(check (list int)) "copies back to the ideal set" (List.sort compare [ a; b ])
+    (Array.to_list (Replicated_store.copies store ~key))
+
 (* --- containment (the acceptance-criterion test) -------------------- *)
 
 let publish_keys store pop ~count ~seed =
@@ -581,6 +633,8 @@ let suites =
         Alcotest.test_case "net mode forbids join/leave" `Quick test_net_mode_forbids_churn;
         Alcotest.test_case "read-repair: pinned hand-counted metrics" `Quick
           test_read_repair_pinned_metrics;
+        Alcotest.test_case "GC spares the last reachable copy" `Quick
+          test_gc_waits_for_rehoming;
       ] );
     ( "durability-containment",
       [
