@@ -71,6 +71,29 @@ let experiment_cmd name ~doc build =
   in
   Cmd.v (Cmd.info name ~doc) term
 
+(* Fig. 6's size sweep can be restricted to one network size (the lazy
+   latency oracle makes isolated huge-n runs affordable), so it gets a
+   hand-rolled command. *)
+let fig6_cmd =
+  let n_arg =
+    let doc =
+      "Measure a single network size $(docv) instead of the default sweep \
+       (2048..131072 at paper scale)."
+    in
+    Arg.(value & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let run n =
+    if (match n with Some n when n < 2 -> true | _ -> false) then
+      fun _ _ _ _ _ -> `Error (false, "--n must be >= 2")
+    else
+      run_experiment (fun ~scale ~seed ->
+          Fig6.run_with ?sizes:(Option.map (fun n -> [ n ]) n) ~scale ~seed ())
+  in
+  let doc = "Figure 6: latency and stretch on the transit-stub internet." in
+  Cmd.v (Cmd.info "fig6" ~doc)
+    Term.(
+      ret (const run $ n_arg $ quick_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
+
 (* The robustness sweep takes fault-injection knobs on top of the
    standard experiment flags, so it gets a hand-rolled command. *)
 let robustness_cmd =
@@ -85,15 +108,29 @@ let robustness_cmd =
     let doc = "Per-message loss probability (default 0.01)." in
     Arg.(value & opt (some float) None & info [ "loss" ] ~docv:"PROB" ~doc)
   in
-  let run fail_frac loss =
+  let n_arg =
+    let doc =
+      "Population size $(docv) instead of the scale default (8192 paper / 2048 quick); \
+       the lazy latency oracle admits sizes past 65536."
+    in
+    Arg.(value & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let probes_arg =
+    let doc = "Lookups per sweep point (default 1500 paper / 300 quick)." in
+    Arg.(value & opt (some int) None & info [ "probes" ] ~docv:"K" ~doc)
+  in
+  let run fail_frac loss n probes =
     let bad_prob = function Some f when f < 0.0 || f > 1.0 -> true | Some _ | None -> false in
+    let bad_pos = function Some k when k < 1 -> true | Some _ | None -> false in
     if bad_prob fail_frac || bad_prob loss then
       fun _ _ _ _ _ -> `Error (false, "--fail-frac and --loss must be in [0, 1]")
+    else if bad_pos n || bad_pos probes then
+      fun _ _ _ _ _ -> `Error (false, "--n and --probes must be >= 1")
     else
       run_experiment (fun ~scale ~seed ->
           Robustness_bench.run_with
             ?fail_fracs:(Option.map (fun f -> [ f ]) fail_frac)
-            ?loss ~scale ~seed ())
+            ?loss ?n ?probes ~scale ~seed ())
   in
   let doc =
     "Message-level robustness: lookup success and latency vs crashed-node fraction \
@@ -102,8 +139,8 @@ let robustness_cmd =
   Cmd.v (Cmd.info "robustness" ~doc)
     Term.(
       ret
-        (const run $ fail_frac_arg $ loss_arg $ quick_arg $ seed_arg $ trace_arg
-       $ sample_arg $ metrics_arg))
+        (const run $ fail_frac_arg $ loss_arg $ n_arg $ probes_arg $ quick_arg $ seed_arg
+       $ trace_arg $ sample_arg $ metrics_arg))
 
 (* The durability sweep adds replication knobs on top of the standard
    experiment flags. *)
@@ -163,8 +200,7 @@ let commands =
     experiment_cmd "fig3" ~doc:"Figure 3: average #links/node vs network size." Fig3.run;
     experiment_cmd "fig4" ~doc:"Figure 4: PDF of #links/node at 32K nodes." Fig4.run;
     experiment_cmd "fig5" ~doc:"Figure 5: average routing hops vs network size." Fig5.run;
-    experiment_cmd "fig6" ~doc:"Figure 6: latency and stretch on the transit-stub internet."
-      Fig6.run;
+    fig6_cmd;
     experiment_cmd "fig7" ~doc:"Figure 7: latency vs query locality." Fig7.run;
     experiment_cmd "fig8" ~doc:"Figure 8: path overlap fraction vs domain level." Fig8.run;
     experiment_cmd "fig9" ~doc:"Figure 9: inter-domain links in a 1000-source multicast tree."
@@ -189,6 +225,9 @@ let commands =
       Prefix_can_bench.run;
     experiment_cmd "skipnet" ~doc:"SkipNet vs Crescendo: locality and convergence (sec. 6)."
       Skipnet_bench.run;
+    experiment_cmd "latency"
+      ~doc:"Latency-oracle setup cost: eager all-pairs table vs lazy memoized rows."
+      Latency_bench.run;
     robustness_cmd;
     durability_cmd;
   ]

@@ -101,4 +101,13 @@ let () =
       Printf.printf "  inter-domain edges at hierarchy level %d: %d\n" level crossings)
     [ 1; 2; 3 ];
   Printf.printf "  total tree transmission cost: %.0f ms of link time\n"
-    (Multicast.total_latency mt ~node_latency)
+    (Multicast.total_latency mt ~node_latency);
+
+  (* The whole example ran against the lazy latency oracle: only the
+     source rows the workload actually touched were ever Dijkstra'd
+     (the eager all-pairs table would have paid for all 2040). *)
+  let st = Latency.stats latency in
+  Printf.printf
+    "\nLatency oracle: %d/%d router rows computed on demand (%d hits, %d misses)\n"
+    st.Latency.rows_computed (Transit_stub.num_routers ts) st.Latency.hits
+    st.Latency.misses

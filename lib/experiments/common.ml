@@ -16,7 +16,10 @@ let sizes = function
   | `Quick -> [ 1024; 2048; 4096 ]
 
 let topo_sizes = function
-  | `Paper -> [ 2048; 4096; 8192; 16384; 32768; 65536 ]
+  (* 131072 exceeds the paper's 65536-node ceiling: affordable now that
+     the latency oracle is lazy (PR 4) instead of an eager all-pairs
+     table. *)
+  | `Paper -> [ 2048; 4096; 8192; 16384; 32768; 65536; 131072 ]
   | `Quick -> [ 2048; 4096 ]
 
 let big_n = function

@@ -19,8 +19,9 @@ val sizes : scale -> int list
 (** Network sizes for the n-sweeps: 1024..65536 at paper scale. *)
 
 val topo_sizes : scale -> int list
-(** Network sizes for the topology experiments: 2048..65536 at paper
-    scale. *)
+(** Network sizes for the topology experiments: 2048..131072 at paper
+    scale (the 131072 ceiling is new in PR 4 — feasible because the
+    latency oracle is lazy). *)
 
 val big_n : scale -> int
 (** The fixed size of the single-size experiments (32768 at paper
@@ -45,8 +46,10 @@ type topo_setup = {
 }
 
 val topology_setup : seed:int -> topo_setup
-(** Generates the 2040-router transit-stub internet and its all-pairs
-    latency oracle (one Dijkstra per router; cached by the caller). *)
+(** Generates the 2040-router transit-stub internet and its lazy
+    memoized latency oracle ({!Canon_topology.Latency}): no Dijkstra
+    runs until a latency is queried, and only queried source rows are
+    ever computed (cached by the caller). *)
 
 val topology_population : seed:int -> topo_setup -> n:int -> Population.t
 (** Attaches [n] overlay nodes uniformly to stub routers; the hierarchy

@@ -15,9 +15,15 @@ let mean_prox_latency rng prox ~node_latency ~samples =
   done;
   !total /. Float.of_int samples
 
-let run ~scale ~seed =
+let run_with ?sizes ?samples ~scale ~seed () =
   let setup = Common.topology_setup ~seed in
-  let samples = match scale with `Paper -> 4000 | `Quick -> 1500 in
+  let sizes = match sizes with Some s -> s | None -> Common.topo_sizes scale in
+  let samples =
+    match (samples, scale) with
+    | Some s, _ -> s
+    | None, `Paper -> 4000
+    | None, `Quick -> 1500
+  in
   let table =
     Table.create
       ~title:
@@ -70,5 +76,7 @@ let run ~scale ~seed =
           lat_crescendo_prox;
           stretch lat_crescendo_prox;
         ])
-    (Common.topo_sizes scale);
+    sizes;
   table
+
+let run ~scale ~seed = run_with ~scale ~seed ()

@@ -9,3 +9,14 @@
     the cheap lowest-level domains. *)
 
 val run : scale:Common.scale -> seed:int -> Canon_stats.Table.t
+
+val run_with :
+  ?sizes:int list ->
+  ?samples:int ->
+  scale:Common.scale ->
+  seed:int ->
+  unit ->
+  Canon_stats.Table.t
+(** [run] with the size sweep and per-size sample count overridden (the
+    CLI's [--n]); defaults are {!Common.topo_sizes} and 4000/1500
+    samples at paper/quick scale. *)

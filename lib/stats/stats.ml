@@ -26,26 +26,25 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* The one nearest-rank (ceil) index rule, shared by [percentile] and
+   [summarize] so their readouts can never disagree. *)
+let ceil_rank_index ~n p =
+  let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
+  if rank <= 0 then 0 else min (n - 1) (rank - 1)
+
 let percentile xs p =
   require_non_empty "Stats.percentile" xs;
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
-  let n = Array.length sorted in
-  let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
-  let idx = if rank <= 0 then 0 else min (n - 1) (rank - 1) in
-  sorted.(idx)
+  sorted.(ceil_rank_index ~n:(Array.length sorted) p)
 
 let summarize xs =
   require_non_empty "Stats.summarize" xs;
   let sorted = Array.copy xs in
   Array.sort Float.compare sorted;
   let n = Array.length sorted in
-  let pick p =
-    let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) in
-    let idx = if rank <= 0 then 0 else min (n - 1) (rank - 1) in
-    sorted.(idx)
-  in
+  let pick p = sorted.(ceil_rank_index ~n p) in
   {
     count = n;
     mean = mean xs;

@@ -1,29 +1,63 @@
 (** Latency oracle over a transit-stub topology.
 
-    Precomputes all-pairs shortest paths among routers so that overlay
-    experiments can query end-to-end latencies in O(1). Overlay nodes
-    attach to stub routers over an access link ([access_ms], 1 ms in the
-    paper), so the latency between two overlay nodes attached to routers
-    [r1] and [r2] is [access + spt(r1, r2) + access] — 2 ms when both
-    hang off the same stub router, matching the paper's observation. *)
+    Distances are computed {e on demand}: the first query from a source
+    router runs one single-source Dijkstra and memoizes the whole row
+    (a [float array] over destinations), so {!create} is O(1) and a
+    workload that touches [k] distinct sources costs [k] Dijkstras and
+    [k * V] floats — never the O(V^2) all-pairs table the eager oracle
+    materialized. An optional [max_rows] cap bounds resident memory via
+    least-recently-used row eviction (an evicted row is recomputed
+    bit-identically on its next use, since Dijkstra is deterministic).
+
+    Overlay nodes attach to stub routers over an access link
+    ([access_ms], 1 ms in the paper), so the latency between two overlay
+    nodes attached to routers [r1] and [r2] is
+    [access + spt(r1, r2) + access] — 2 ms when both hang off the same
+    stub router, matching the paper's observation.
+
+    Every oracle feeds the process-wide [latency.*] telemetry counters
+    (rows computed, hits, misses, evictions) and the
+    [latency.rows_resident] gauge. *)
 
 type t
 
-val create : Transit_stub.t -> t
-(** Runs one Dijkstra per router. For the default 2040-router topology
-    this takes on the order of a second and ~32 MB. *)
+val create : ?max_rows:int -> Transit_stub.t -> t
+(** O(1): no shortest-path work happens until the first query. When
+    [max_rows] is given (>= 1, else [Invalid_argument]), at most that
+    many memoized rows stay resident, evicted LRU. *)
+
+val create_eager : Transit_stub.t -> t
+(** The pre-PR-4 behaviour: computes every row up front (one Dijkstra
+    per router — on the order of a second and ~32 MB for the default
+    2040-router topology, and quadratically worse beyond). Kept for
+    benchmarking the lazy oracle against and for workloads that touch
+    every source anyway. Queries answer identically to {!create}. *)
 
 val topology : t -> Transit_stub.t
 
 val router_latency : t -> int -> int -> float
-(** Shortest-path latency between two routers, in ms. *)
+(** Shortest-path latency between two routers, in ms. Memoizes the
+    source's row on first use. *)
 
 val node_latency : t -> int -> int -> float
 (** [node_latency t r1 r2] is the overlay-node-to-overlay-node latency
     between nodes attached to stub routers [r1] and [r2], including both
     access links. [r1 = r2] gives twice the access latency. *)
 
+type stats = {
+  rows_computed : int;  (** Dijkstra runs, including recomputations after eviction *)
+  rows_resident : int;  (** rows currently memoized (peak = cap when bounded) *)
+  hits : int;  (** queries answered from a memoized row *)
+  misses : int;  (** queries that had to run Dijkstra *)
+  evictions : int;  (** rows dropped by the [max_rows] LRU policy *)
+}
+
+val stats : t -> stats
+(** This oracle's counters since {!create}. [create_eager] reports one
+    miss/row-computed per router. *)
+
 val mean_node_latency : t -> Canon_rng.Rng.t -> samples:int -> float
 (** Monte-Carlo estimate of the mean direct latency between two overlay
-    nodes attached to uniformly random stub routers — the denominator of
-    the paper's "stretch" metric. *)
+    nodes attached to uniformly random {e distinct} stub routers — the
+    denominator of the paper's "stretch" metric. (A degenerate topology
+    with a single stub router samples the same-router pair.) *)

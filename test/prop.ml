@@ -344,8 +344,81 @@ let prop_read_repair_restores_invariant sc =
       (Ok ()) keys
   end
 
+(* --- the latency oracle and percentile edges ----------------------- *)
+
+module Transit_stub = Canon_topology.Transit_stub
+module Latency = Canon_topology.Latency
+module Stats = Canon_stats.Stats
+
+(* Lazy, memory-capped-lazy and eager oracles answer bit-identically for
+   random pairs on random seeded transit-stub topologies — the query
+   order (which drives memoization and LRU eviction) must never leak
+   into the answers. *)
+let prop_lazy_eager_identical () =
+  for case = 0 to 19 do
+    let seed = 4242 + (case * 17) in
+    let rng = Rng.create seed in
+    let params =
+      {
+        Transit_stub.default_params with
+        Transit_stub.transit_domains = 1 + Rng.int_below rng 3;
+        transit_nodes_per_domain = 1 + Rng.int_below rng 3;
+        stub_domains_per_transit_node = 1 + Rng.int_below rng 3;
+        stub_routers_per_domain = 2 + Rng.int_below rng 4;
+      }
+    in
+    let ts = Transit_stub.generate rng params in
+    let n = Transit_stub.num_routers ts in
+    let lazy_ = Latency.create ts in
+    let capped = Latency.create ~max_rows:(1 + Rng.int_below rng 3) ts in
+    let eager = Latency.create_eager ts in
+    for _ = 1 to 200 do
+      let a = Rng.int_below rng n and b = Rng.int_below rng n in
+      let e = Latency.router_latency eager a b in
+      if not (Float.equal (Latency.router_latency lazy_ a b) e) then
+        Alcotest.failf "seed %d: lazy <> eager at (%d, %d)" seed a b;
+      if not (Float.equal (Latency.router_latency capped a b) e) then
+        Alcotest.failf "seed %d: capped <> eager at (%d, %d)" seed a b;
+      if
+        not
+          (Float.equal
+             (Latency.node_latency lazy_ a b)
+             (Latency.node_latency eager a b))
+      then Alcotest.failf "seed %d: node latency lazy <> eager at (%d, %d)" seed a b
+    done;
+    if (Latency.stats capped).Latency.rows_resident > n then
+      Alcotest.failf "seed %d: capped oracle exceeded its row budget" seed
+  done
+
+(* Percentile edge cases on random samples: p = 0 is the minimum,
+   p = 100 the maximum, and any p of a singleton is the element. *)
+let prop_percentile_edges () =
+  for case = 0 to 49 do
+    let rng = Rng.create (7001 + case) in
+    let n = 1 + Rng.int_below rng 40 in
+    let xs = Array.init n (fun _ -> (Rng.float rng *. 200.0) -. 100.0) in
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    if not (Float.equal (Stats.percentile xs 0.0) sorted.(0)) then
+      Alcotest.failf "case %d: p0 <> min" case;
+    if not (Float.equal (Stats.percentile xs 100.0) sorted.(n - 1)) then
+      Alcotest.failf "case %d: p100 <> max" case;
+    let singleton = [| xs.(0) |] in
+    List.iter
+      (fun p ->
+        if not (Float.equal (Stats.percentile singleton p) xs.(0)) then
+          Alcotest.failf "case %d: n = 1 percentile %.1f <> the element" case p)
+      [ 0.0; 37.5; 50.0; 99.0; 100.0 ]
+  done
+
 let suites =
   [
+    ( "prop.latency",
+      [
+        Alcotest.test_case "lazy/capped/eager oracles identical" `Quick
+          prop_lazy_eager_identical;
+        Alcotest.test_case "percentile edges p0/p100/n=1" `Quick prop_percentile_edges;
+      ] );
     ( "prop.replication",
       [
         Alcotest.test_case "flat holder count = min k live" `Quick

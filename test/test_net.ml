@@ -208,6 +208,32 @@ let fast_policy =
     deadline_ms = 60_000.0;
   }
 
+(* The FIFO tie rule (net.ml pushes Deliver before Timeout): a hop
+   whose latency is *exactly* timeout_ms is Delivered, not Timed out.
+   Every edge of this oracle costs precisely the timeout, so any tie
+   broken the other way would surface as timeouts (and, with
+   max_retries = 0, as a reroute off the fault-free path). *)
+let test_net_latency_exactly_timeout_delivered () =
+  let _, rings, overlay = build_crescendo ~n:64 58 in
+  let timeout_ms = 100.0 in
+  let policy =
+    { Rpc.default with Rpc.timeout_ms; max_retries = 0; deadline_ms = 1_000_000.0 }
+  in
+  let at_timeout u v = if u = v then 0.0 else timeout_ms in
+  let net =
+    Net.create ~policy ~rings ~rng:(Rng.create 59) ~node_latency:at_timeout overlay
+  in
+  let src, dst, route = multi_hop_pair overlay ~n:64 ~min_hops:2 in
+  let r = Net.lookup net ~src ~key:(Overlay.id overlay dst) in
+  Alcotest.(check bool) "delivered" true (r.Async_route.status = Async_route.Delivered);
+  Alcotest.(check (array int)) "undeviated path" route.Route.nodes
+    r.Async_route.route.Route.nodes;
+  Alcotest.(check int) "no timeouts at the tie" 0 r.Async_route.timeouts;
+  Alcotest.(check int) "no retries" 0 r.Async_route.retries;
+  Alcotest.(check (float 1e-6)) "wall clock = hops x timeout"
+    (Float.of_int (Route.hops route) *. timeout_ms)
+    r.Async_route.wall_ms
+
 let test_net_reroutes_around_crashed_hop () =
   let _, rings, overlay = build_crescendo ~n:200 55 in
   let n = 200 in
@@ -493,6 +519,8 @@ let suites =
         Alcotest.test_case "fault-free = synchronous greedy" `Quick
           test_net_fault_free_matches_sync;
         Alcotest.test_case "self lookup" `Quick test_net_self_lookup;
+        Alcotest.test_case "latency exactly at timeout is delivered" `Quick
+          test_net_latency_exactly_timeout_delivered;
         Alcotest.test_case "reroutes around a crashed hop" `Quick
           test_net_reroutes_around_crashed_hop;
         Alcotest.test_case "leaf-set re-anchor after multi-successor failure" `Quick

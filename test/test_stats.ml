@@ -29,6 +29,22 @@ let test_percentile () =
   ignore (Stats.percentile ys 50.0);
   Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] ys
 
+(* Regression for the once-drifted inline rank logic: [summarize] must
+   report exactly what [percentile] reports, for any sample size
+   (including n = 1) — both now share one ceil-rank helper. *)
+let test_summarize_matches_percentile () =
+  let rng = Canon_rng.Rng.create 271 in
+  List.iter
+    (fun n ->
+      let xs = Array.init n (fun _ -> Canon_rng.Rng.float rng *. 1000.0) in
+      let s = Stats.summarize xs in
+      Alcotest.check feq "p50 agrees" (Stats.percentile xs 50.0) s.Stats.p50;
+      Alcotest.check feq "p90 agrees" (Stats.percentile xs 90.0) s.Stats.p90;
+      Alcotest.check feq "p99 agrees" (Stats.percentile xs 99.0) s.Stats.p99;
+      Alcotest.check feq "min = p0" (Stats.percentile xs 0.0) s.Stats.min;
+      Alcotest.check feq "max = p100" (Stats.percentile xs 100.0) s.Stats.max)
+    [ 1; 2; 3; 7; 10; 99; 100; 1000 ]
+
 let test_summary () =
   let s = Stats.summarize_int [| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 |] in
   Alcotest.(check int) "count" 10 s.Stats.count;
@@ -144,6 +160,7 @@ let suites =
         Alcotest.test_case "mean empty" `Quick test_mean_empty;
         Alcotest.test_case "variance" `Quick test_variance;
         Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "summarize = percentile" `Quick test_summarize_matches_percentile;
         Alcotest.test_case "summary" `Quick test_summary;
         Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
         Alcotest.test_case "histogram growth" `Quick test_histogram_growth;

@@ -134,6 +134,121 @@ let test_latency_classes () =
   let mean = Latency.mean_node_latency lat (Rng.create 23) ~samples:2000 in
   Alcotest.(check bool) "mean in plausible band" true (mean > 100.0 && mean < 1500.0)
 
+(* --- the lazy memoized oracle -------------------------------------- *)
+
+let small_params =
+  {
+    Transit_stub.default_params with
+    Transit_stub.transit_domains = 2;
+    transit_nodes_per_domain = 2;
+    stub_domains_per_transit_node = 2;
+    stub_routers_per_domain = 3;
+  }
+
+(* The tentpole equality pin: on a seeded topology the lazy oracle (and
+   a memory-capped one that must recompute evicted rows) answers
+   bit-identically to the eager all-pairs table, and [create] runs no
+   Dijkstra up front. *)
+let test_lazy_matches_eager () =
+  let ts = Transit_stub.generate (Rng.create 11) small_params in
+  let n = Transit_stub.num_routers ts in
+  let lazy_ = Latency.create ts in
+  let capped = Latency.create ~max_rows:2 ts in
+  Alcotest.(check int) "no Dijkstra at create" 0 (Latency.stats lazy_).Latency.rows_computed;
+  let eager = Latency.create_eager ts in
+  Alcotest.(check int) "eager computed every row" n
+    (Latency.stats eager).Latency.rows_computed;
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let e = Latency.router_latency eager a b in
+      if not (Float.equal (Latency.router_latency lazy_ a b) e) then
+        Alcotest.failf "lazy <> eager at (%d, %d)" a b;
+      if not (Float.equal (Latency.router_latency capped a b) e) then
+        Alcotest.failf "capped <> eager at (%d, %d)" a b;
+      if not (Float.equal (Latency.node_latency lazy_ a b) (Latency.node_latency eager a b))
+      then Alcotest.failf "node latency lazy <> eager at (%d, %d)" a b
+    done
+  done;
+  let st = Latency.stats lazy_ in
+  Alcotest.(check int) "lazy computed each row once" n st.Latency.rows_computed;
+  Alcotest.(check int) "all rows resident" n st.Latency.rows_resident;
+  Alcotest.(check int) "no evictions unbounded" 0 st.Latency.evictions;
+  Alcotest.(check bool) "row reuse counted as hits" true (st.Latency.hits > 0);
+  (* row 0 was evicted long ago under the cap of 2; touching it again
+     must recompute it bit-identically. *)
+  Alcotest.(check bool) "evicted row recomputes identically" true
+    (Float.equal (Latency.router_latency capped 0 (n - 1))
+       (Latency.router_latency eager 0 (n - 1)));
+  let stc = Latency.stats capped in
+  Alcotest.(check int) "cap bounds residency" 2 stc.Latency.rows_resident;
+  Alcotest.(check bool) "cap evicts" true (stc.Latency.evictions > 0);
+  Alcotest.(check bool) "cap recomputes evicted rows" true (stc.Latency.rows_computed > n)
+
+let test_lazy_create_invalid () =
+  let ts = Transit_stub.generate (Rng.create 11) small_params in
+  Alcotest.check_raises "bad cap" (Invalid_argument "Latency.create: max_rows must be >= 1")
+    (fun () -> ignore (Latency.create ~max_rows:0 ts))
+
+(* On a two-stub topology every sampled pair must be the distinct one,
+   so the estimate is exactly that pair's latency — the old sampler drew
+   a = b half the time and dragged the mean toward 2 ms. *)
+let test_mean_node_latency_distinct_pairs () =
+  let params =
+    {
+      Transit_stub.default_params with
+      Transit_stub.transit_domains = 1;
+      transit_nodes_per_domain = 1;
+      stub_domains_per_transit_node = 1;
+      stub_routers_per_domain = 2;
+    }
+  in
+  let ts = Transit_stub.generate (Rng.create 3) params in
+  let lat = Latency.create ts in
+  let stubs = Transit_stub.stub_routers ts in
+  let pair = Latency.node_latency lat stubs.(0) stubs.(1) in
+  Alcotest.(check bool) "distinct pair above access floor" true (pair > 2.0);
+  let mean = Latency.mean_node_latency lat (Rng.create 29) ~samples:500 in
+  Alcotest.(check (float 1e-9)) "mean = the one distinct pair" pair mean
+
+let test_mean_node_latency_single_stub () =
+  let params =
+    {
+      Transit_stub.default_params with
+      Transit_stub.transit_domains = 1;
+      transit_nodes_per_domain = 1;
+      stub_domains_per_transit_node = 1;
+      stub_routers_per_domain = 1;
+    }
+  in
+  let ts = Transit_stub.generate (Rng.create 3) params in
+  let lat = Latency.create ts in
+  let mean = Latency.mean_node_latency lat (Rng.create 31) ~samples:100 in
+  Alcotest.(check (float 1e-9)) "degenerate single stub = 2 x access" 2.0 mean
+
+(* Large-n setup smoke (the CI budget guard): lazy create at ~16k
+   routers is instant, and 1000 lookups only pay for the rows they
+   touch. The eager path (16k Dijkstras, ~2 GiB matrix) is deliberately
+   not exercised. *)
+let test_lazy_large_n_smoke () =
+  let params =
+    { Transit_stub.default_params with Transit_stub.stub_routers_per_domain = 82 }
+  in
+  let t0 = Sys.time () in
+  let ts = Transit_stub.generate (Rng.create 13) params in
+  let lat = Latency.create ts in
+  Alcotest.(check bool) "16k+ routers" true (Transit_stub.num_routers ts > 16384);
+  Alcotest.(check int) "no Dijkstra at create" 0 (Latency.stats lat).Latency.rows_computed;
+  let stubs = Transit_stub.stub_routers ts in
+  let rng = Rng.create 37 in
+  for _ = 1 to 1000 do
+    let a = Rng.pick rng stubs and b = Rng.pick rng stubs in
+    let l = Latency.node_latency lat a b in
+    if l < 2.0 then Alcotest.fail "latency below access floor"
+  done;
+  let st = Latency.stats lat in
+  Alcotest.(check bool) "at most one row per lookup" true (st.Latency.rows_computed <= 1000);
+  Alcotest.(check bool) "setup + 1k lookups within budget" true (Sys.time () -. t0 < 60.0)
+
 let test_custom_params () =
   let params =
     {
@@ -161,6 +276,13 @@ let suites =
         Alcotest.test_case "transit-stub shape" `Quick test_transit_stub_shape;
         Alcotest.test_case "transit-stub hierarchy" `Quick test_transit_stub_hierarchy;
         Alcotest.test_case "latency classes" `Slow test_latency_classes;
+        Alcotest.test_case "lazy oracle = eager table" `Quick test_lazy_matches_eager;
+        Alcotest.test_case "lazy oracle bad cap" `Quick test_lazy_create_invalid;
+        Alcotest.test_case "mean latency excludes self-pairs" `Quick
+          test_mean_node_latency_distinct_pairs;
+        Alcotest.test_case "mean latency single-stub degenerate" `Quick
+          test_mean_node_latency_single_stub;
+        Alcotest.test_case "lazy oracle 16k-router smoke" `Slow test_lazy_large_n_smoke;
         Alcotest.test_case "custom params" `Quick test_custom_params;
       ] );
   ]
