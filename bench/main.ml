@@ -10,7 +10,7 @@
 
    Experiment ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 theorems variants
    lookahead balance maintenance caching isolation hybrid prefixcan
-   skipnet robustness durability latency micro.
+   skipnet robustness durability churn_async latency micro.
 
    Every run ends with a manifest (seed, scale, git revision, wall time
    per experiment) so pasted outputs are self-identifying; --json FILE
@@ -103,6 +103,7 @@ let experiments =
     ("skipnet", Skipnet_bench.run);
     ("robustness", Robustness_bench.run);
     ("durability", Durability.run);
+    ("churn_async", Churn_async.run);
     ("latency", Latency_bench.run);
     ("micro", fun ~scale:_ ~seed:_ -> micro_benchmarks ());
   ]

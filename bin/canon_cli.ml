@@ -195,6 +195,51 @@ let durability_cmd =
         (const run $ fail_frac_arg $ replicas_arg $ spread_arg $ quick_arg $ seed_arg
        $ trace_arg $ sample_arg $ metrics_arg))
 
+let churn_async_cmd =
+  let churn_rate_arg =
+    let doc = "Membership events per simulated second (default 100)." in
+    Arg.(value & opt (some float) None & info [ "churn-rate" ] ~docv:"RATE" ~doc)
+  in
+  let lookup_rate_arg =
+    let doc = "Lookup launches per simulated second (default 200)." in
+    Arg.(value & opt (some float) None & info [ "lookup-rate" ] ~docv:"RATE" ~doc)
+  in
+  let events_arg =
+    let doc = "Membership events in the burst (default 400 paper / 120 quick)." in
+    Arg.(value & opt (some int) None & info [ "events" ] ~docv:"K" ~doc)
+  in
+  let n_arg =
+    let doc = "Population size $(docv) instead of the scale default (4096 paper / 1024 quick)." in
+    Arg.(value & opt (some int) None & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+  in
+  let lookups_arg =
+    let doc = "Lookups per phase (default 800 paper / 200 quick)." in
+    Arg.(value & opt (some int) None & info [ "lookups" ] ~docv:"K" ~doc)
+  in
+  let run churn_rate lookup_rate events n lookups =
+    let bad_rate = function Some r when r <= 0.0 -> true | Some _ | None -> false in
+    if bad_rate churn_rate || bad_rate lookup_rate then
+      fun _ _ _ _ _ -> `Error (false, "--churn-rate and --lookup-rate must be > 0")
+    else if (match events with Some e when e < 0 -> true | _ -> false) then
+      fun _ _ _ _ _ -> `Error (false, "--events must be >= 0")
+    else if
+      (match n with Some k when k < 16 -> true | _ -> false)
+      || (match lookups with Some k when k < 1 -> true | _ -> false)
+    then fun _ _ _ _ _ -> `Error (false, "--n must be >= 16 and --lookups >= 1")
+    else
+      run_experiment (fun ~scale ~seed ->
+          Churn_async.run_with ?churn_rate ?lookup_rate ?events ?n ?lookups ~scale ~seed ())
+  in
+  let doc =
+    "Churn x async: lookup success and p50/p99 wall-clock during live churn — joins, \
+     leaves and in-flight RPC hops on one event queue, Chord vs Crescendo live membership."
+  in
+  Cmd.v (Cmd.info "churn_async" ~doc)
+    Term.(
+      ret
+        (const run $ churn_rate_arg $ lookup_rate_arg $ events_arg $ n_arg $ lookups_arg
+       $ quick_arg $ seed_arg $ trace_arg $ sample_arg $ metrics_arg))
+
 let commands =
   [
     experiment_cmd "fig3" ~doc:"Figure 3: average #links/node vs network size." Fig3.run;
@@ -230,6 +275,7 @@ let commands =
       Latency_bench.run;
     robustness_cmd;
     durability_cmd;
+    churn_async_cmd;
   ]
 
 let default =

@@ -162,35 +162,37 @@ let greedy_xor ?trace overlay ~src ~key =
 
 type step_outcome = Forward of int | Arrived | Blocked
 
-let step_clockwise_avoiding overlay ~dead ~at:u ~key =
-  let du = Id.distance (Overlay.id overlay u) key in
+let step_clockwise_avoiding_generic ~id ~links ~dead ~at:u ~key =
+  let du = Id.distance (id u) key in
   if du = 0 then Arrived
   else begin
+    let lnks = links u in
     let best = ref (-1) and best_remaining = ref du in
     Array.iter
       (fun v ->
         if not (dead v) then begin
-          let remaining = Id.distance (Overlay.id overlay v) key in
-          if Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du
-             && remaining < !best_remaining
-          then begin
+          let remaining = Id.distance (id v) key in
+          if Id.distance (id u) (id v) <= du && remaining < !best_remaining then begin
             best := v;
             best_remaining := remaining
           end
         end)
-      (Overlay.links overlay u);
+      lnks;
     if !best >= 0 then Forward !best
     else if
       (* Blocked, not arrived: a dead link of [u] would have made
          progress, so a live owner closer to the key may exist but [u]
          cannot see it. *)
-      Array.exists
-        (fun v ->
-          dead v && Id.distance (Overlay.id overlay u) (Overlay.id overlay v) <= du)
-        (Overlay.links overlay u)
+      Array.exists (fun v -> dead v && Id.distance (id u) (id v) <= du) lnks
     then Blocked
     else Arrived
   end
+
+let step_clockwise_avoiding overlay ~dead ~at ~key =
+  step_clockwise_avoiding_generic
+    ~id:(fun v -> Overlay.id overlay v)
+    ~links:(fun v -> Overlay.links overlay v)
+    ~dead ~at ~key
 
 let greedy_clockwise_avoiding ?trace overlay ~dead ~src ~key =
   if dead src then invalid_arg "Router.greedy_clockwise_avoiding: dead source";

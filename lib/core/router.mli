@@ -110,6 +110,19 @@ val step_clockwise_avoiding :
     the same forwarding rule hop by hop, interleaved with timeouts and
     retries, instead of routing a whole path at once. *)
 
+val step_clockwise_avoiding_generic :
+  id:(int -> Id.t) ->
+  links:(int -> int array) ->
+  dead:(int -> bool) ->
+  at:int ->
+  key:Id.t ->
+  step_outcome
+(** {!step_clockwise_avoiding} over caller-supplied [id]/[links]
+    accessors instead of a frozen {!Overlay.t} — the hop decision a node
+    makes against {e live} link state, e.g. a membership view mutated by
+    churn while messages are in flight. The overlay version is this with
+    [Overlay.id]/[Overlay.links]. *)
+
 val level_of_edge : Overlay.t -> int -> int -> int
 (** [level_of_edge overlay u v] is the hierarchy depth of the link
     (u, v): the depth of the lowest common ancestor domain of the two

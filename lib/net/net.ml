@@ -16,10 +16,12 @@ type t = {
   policy : Rpc.policy;
   rng : Rng.t;
   rings : Rings.t option;
+  live : Live_view.t option;
   leaf_width : int;
   suspicion : suspicion;
   suspected : bool array;
   leaf_cache : int array array option array;
+  mutable leaf_cache_gen : int;
 }
 
 (* Process-wide telemetry, bound once (see Metrics). *)
@@ -40,7 +42,7 @@ let h_messages =
     ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
     "net.messages_per_lookup"
 
-let create ?(policy = Rpc.default) ?plan ?rings ?(leaf_width = 4)
+let create ?(policy = Rpc.default) ?plan ?rings ?live ?(leaf_width = 4)
     ?(suspicion = `Per_lookup) ~rng ~node_latency overlay =
   Rpc.validate policy;
   if leaf_width < 1 then invalid_arg "Net.create: leaf_width must be >= 1";
@@ -51,6 +53,10 @@ let create ?(policy = Rpc.default) ?plan ?rings ?(leaf_width = 4)
   | Some r when Rings.population r != Overlay.population overlay ->
       invalid_arg "Net.create: rings built over a different population"
   | Some _ | None -> ());
+  (match live with
+  | Some lv when Live_view.population lv != Overlay.population overlay ->
+      invalid_arg "Net.create: live view over a different population"
+  | Some _ | None -> ());
   {
     overlay;
     node_latency;
@@ -58,15 +64,24 @@ let create ?(policy = Rpc.default) ?plan ?rings ?(leaf_width = 4)
     policy;
     rng;
     rings;
+    live;
     leaf_width;
     suspicion;
     suspected = Array.make n false;
     leaf_cache = Array.make n None;
+    leaf_cache_gen = 0;
   }
 
 let overlay t = t.overlay
 
 let plan t = t.plan
+
+(* Membership and link state the routing rule consults: the frozen
+   overlay snapshot by default, the live view when one is installed. *)
+let node_live t v = match t.live with None -> true | Some lv -> Live_view.is_live lv v
+
+let node_links t v =
+  match t.live with None -> Overlay.links t.overlay v | Some lv -> Live_view.links lv v
 
 let suspected_nodes t =
   let out = ref [] in
@@ -78,15 +93,29 @@ let suspected_nodes t =
 let clear_suspicions t = Array.fill t.suspected 0 (Array.length t.suspected) false
 
 let leaf_sets t u =
-  match t.rings with
-  | None -> [||]
-  | Some rings -> (
-      match t.leaf_cache.(u) with
+  match t.live with
+  | Some lv ->
+      let gen = Live_view.generation lv in
+      if gen <> t.leaf_cache_gen then begin
+        Array.fill t.leaf_cache 0 (Array.length t.leaf_cache) None;
+        t.leaf_cache_gen <- gen
+      end;
+      (match t.leaf_cache.(u) with
       | Some sets -> sets
       | None ->
-          let sets = Leaf_sets.successors rings ~node:u ~width:t.leaf_width in
+          let sets = Leaf_sets.successors (Live_view.rings lv) ~node:u ~width:t.leaf_width in
           t.leaf_cache.(u) <- Some sets;
           sets)
+  | None -> (
+      match t.rings with
+      | None -> [||]
+      | Some rings -> (
+          match t.leaf_cache.(u) with
+          | Some sets -> sets
+          | None ->
+              let sets = Leaf_sets.successors rings ~node:u ~width:t.leaf_width in
+              t.leaf_cache.(u) <- Some sets;
+              sets))
 
 let reanchor_candidate t ~at ~key =
   let id_at = Overlay.id t.overlay at in
@@ -96,7 +125,7 @@ let reanchor_candidate t ~at ~key =
     let best = ref (-1) and best_d = ref max_int in
     Array.iter
       (Array.iter (fun w ->
-           if not t.suspected.(w) then begin
+           if (not t.suspected.(w)) && node_live t w then begin
              let dw = Id.distance id_at (Overlay.id t.overlay w) in
              if dw > 0 && dw <= du && dw < !best_d then begin
                best := w;
@@ -108,10 +137,6 @@ let reanchor_candidate t ~at ~key =
   end
 
 (* --- one lookup ---------------------------------------------------- *)
-
-type msg = { from_ : int; to_ : int; attempt : int; mutable got_through : bool }
-
-type event = Send of msg | Deliver of msg | Timeout of msg
 
 type lookup_state = {
   mutable rev_path : int list;
@@ -126,132 +151,44 @@ type lookup_state = {
   mutable finished : (Async_route.status * Async_route.failure option) option;
 }
 
-let lookup t ~src ~key =
-  if Fault_plan.is_crashed t.plan src then invalid_arg "Net.lookup: crashed source";
-  Metrics.incr m_lookups;
-  let q = Event_queue.create () in
-  let clock = Clock.create () in
-  let st =
-    {
-      rev_path = [ src ];
-      hops = 0;
-      messages = 0;
-      retries = 0;
-      timeouts = 0;
-      losses = 0;
-      reanchors = 0;
-      deviated = false;
-      newly_suspected = [];
-      finished = None;
-    }
-  in
-  let suspect v = t.suspected.(v) in
-  let max_hops = Overlay.size t.overlay + 1 in
-  let finish ?failure status = st.finished <- Some (status, failure) in
-  let transmit ~now m =
-    st.messages <- st.messages + 1;
-    Metrics.incr m_messages;
-    let lost = Fault_plan.draw_lost t.plan t.rng in
-    if lost then begin
-      st.losses <- st.losses + 1;
-      Metrics.incr m_losses
-    end;
-    let lat =
-      t.node_latency m.from_ m.to_ *. Fault_plan.edge_multiplier t.plan m.from_ m.to_
-    in
-    (* A message lost, aimed at a crashed node, or slower than the
-       timeout never completes its hop; the sender finds out at the
-       timeout. Deliver is pushed before Timeout so a latency exactly at
-       the timeout still wins the FIFO tie. *)
-    if
-      (not lost)
-      && (not (Fault_plan.is_crashed t.plan m.to_))
-      && lat <= t.policy.Rpc.timeout_ms
-    then Event_queue.push q ~time:(now +. lat) (Deliver m);
-    Event_queue.push q ~time:(now +. t.policy.Rpc.timeout_ms) (Timeout m)
-  in
-  let fault_free_next u =
-    match Router.step_clockwise_avoiding t.overlay ~dead:(fun _ -> false) ~at:u ~key with
-    | Router.Forward w -> Some w
-    | Router.Arrived | Router.Blocked -> None
-  in
-  let forward ~now u v =
-    if fault_free_next u <> Some v then st.deviated <- true;
-    transmit ~now { from_ = u; to_ = v; attempt = 0; got_through = false }
-  in
-  (* What the node holding the message does next, given its current
-     knowledge of suspects. *)
-  let step_at ~now u =
-    match Router.step_clockwise_avoiding t.overlay ~dead:suspect ~at:u ~key with
-    | Router.Forward v -> forward ~now u v
-    | Router.Arrived -> finish (if st.deviated then Rerouted else Delivered)
-    | Router.Blocked -> (
-        match reanchor_candidate t ~at:u ~key with
-        | Some v ->
-            st.reanchors <- st.reanchors + 1;
-            Metrics.incr m_reanchors;
-            st.deviated <- true;
-            forward ~now u v
-        | None -> finish Failed ~failure:Async_route.No_candidate)
-  in
-  let handle ~now = function
-    | _ when st.finished <> None -> ()
-    | Send m -> transmit ~now m
-    | Deliver m ->
-        m.got_through <- true;
-        st.rev_path <- m.to_ :: st.rev_path;
-        st.hops <- st.hops + 1;
-        if st.hops > max_hops then finish Failed ~failure:Async_route.Hop_budget
-        else step_at ~now m.to_
-    | Timeout m ->
-        if not m.got_through then begin
-          st.timeouts <- st.timeouts + 1;
-          Metrics.incr m_timeouts;
-          if m.attempt < t.policy.Rpc.max_retries then begin
-            st.retries <- st.retries + 1;
-            Metrics.incr m_retries;
-            let retry = m.attempt + 1 in
-            let delay = Rpc.backoff_ms t.policy ~retry t.rng in
-            Event_queue.push q ~time:(now +. delay)
-              (Send { m with attempt = retry; got_through = false })
-          end
-          else begin
-            (* Retry budget exhausted: declare the target dead and let
-               the sender route around it (or re-anchor). *)
-            if not t.suspected.(m.to_) then begin
-              t.suspected.(m.to_) <- true;
-              st.newly_suspected <- m.to_ :: st.newly_suspected
-            end;
-            step_at ~now m.from_
-          end
-        end
-  in
-  step_at ~now:0.0 src;
-  let rec run () =
-    match Event_queue.peek_time q with
-    | None -> ()
-    | Some time when time > t.policy.Rpc.deadline_ms ->
-        (* The lookup's future lies entirely past its deadline: the
-           caller has already given up. *)
-        Clock.advance_to clock t.policy.Rpc.deadline_ms;
-        Metrics.incr m_deadline;
-        finish Async_route.Failed ~failure:Async_route.Deadline
-    | Some time ->
-        Clock.advance_to clock time;
-        List.iter (fun (_, ev) -> handle ~now:time ev) (Event_queue.pop_until q ~time);
-        if st.finished = None then run ()
-  in
-  run ();
+type pending = {
+  p_src : int;
+  p_key : Id.t;
+  p_started : float;
+  p_st : lookup_state;
+  p_on_done : (Async_route.t -> unit) option;
+  mutable p_result : Async_route.t option;
+}
+
+type msg = {
+  lk : pending;
+  from_ : int;
+  to_ : int;
+  attempt : int;
+  mutable got_through : bool;
+}
+
+type event = Send of msg | Deliver of msg | Timeout of msg
+
+let result p = p.p_result
+
+let pending_src p = p.p_src
+
+let pending_key p = p.p_key
+
+let finalize t p ~now =
+  let st = p.p_st in
   (match t.suspicion with
   | `Per_lookup -> List.iter (fun v -> t.suspected.(v) <- false) st.newly_suspected
   | `Shared -> ());
+  st.newly_suspected <- [];
   let status, failure =
     match st.finished with
     | Some (s, f) -> (s, f)
     | None -> (Async_route.Failed, Some Async_route.No_candidate)
   in
   let route = Route.{ nodes = Array.of_list (List.rev st.rev_path) } in
-  let wall_ms = Clock.elapsed clock in
+  let wall_ms = Float.min (now -. p.p_started) t.policy.Rpc.deadline_ms in
   Metrics.observe h_messages (Float.of_int (max 1 st.messages));
   (match status with
   | Async_route.Delivered ->
@@ -269,17 +206,185 @@ let lookup t ~src ~key =
         | Async_route.Delivered | Async_route.Rerouted -> Span.Arrived
         | Async_route.Failed -> Span.Stranded
       in
-      Trace.record tr ~kind:"canon_net.lookup" ~key ~outcome ~nodes:route.Route.nodes
+      Trace.record tr ~kind:"canon_net.lookup" ~key:p.p_key ~outcome ~nodes:route.Route.nodes
         ~level:(Router.level_of_edge t.overlay) ~latency:t.node_latency ());
-  Async_route.
+  let r =
+    Async_route.
+      {
+        status;
+        failure;
+        route;
+        wall_ms;
+        messages = st.messages;
+        retries = st.retries;
+        timeouts = st.timeouts;
+        losses = st.losses;
+        reanchors = st.reanchors;
+      }
+  in
+  p.p_result <- Some r;
+  match p.p_on_done with None -> () | Some f -> f r
+
+let finish t p ~now ?failure status =
+  if p.p_st.finished = None then begin
+    p.p_st.finished <- Some (status, failure);
+    finalize t p ~now
+  end
+
+let transmit t ~now ~push m =
+  let st = m.lk.p_st in
+  st.messages <- st.messages + 1;
+  Metrics.incr m_messages;
+  let lost = Fault_plan.draw_lost t.plan t.rng in
+  if lost then begin
+    st.losses <- st.losses + 1;
+    Metrics.incr m_losses
+  end;
+  let lat = t.node_latency m.from_ m.to_ *. Fault_plan.edge_multiplier t.plan m.from_ m.to_ in
+  (* A message lost, aimed at a crashed node, or slower than the
+     timeout never completes its hop; the sender finds out at the
+     timeout. Deliver is pushed before Timeout so a latency exactly at
+     the timeout still wins the FIFO tie. Departure of the target while
+     the message is in flight is checked at delivery time instead, since
+     it may happen after this moment. *)
+  if
+    (not lost)
+    && (not (Fault_plan.is_crashed t.plan m.to_))
+    && lat <= t.policy.Rpc.timeout_ms
+  then push ~time:(now +. lat) (Deliver m);
+  push ~time:(now +. t.policy.Rpc.timeout_ms) (Timeout m)
+
+let fault_free_next t u ~key =
+  match
+    Router.step_clockwise_avoiding_generic
+      ~id:(fun v -> Overlay.id t.overlay v)
+      ~links:(node_links t)
+      ~dead:(fun _ -> false)
+      ~at:u ~key
+  with
+  | Router.Forward w -> Some w
+  | Router.Arrived | Router.Blocked -> None
+
+let forward t p ~now ~push u v =
+  if fault_free_next t u ~key:p.p_key <> Some v then p.p_st.deviated <- true;
+  transmit t ~now ~push { lk = p; from_ = u; to_ = v; attempt = 0; got_through = false }
+
+(* What the node holding the message does next, given its current
+   knowledge of suspects and the membership of this moment. *)
+let step_at t p ~now ~push u =
+  let st = p.p_st in
+  match
+    Router.step_clockwise_avoiding_generic
+      ~id:(fun v -> Overlay.id t.overlay v)
+      ~links:(node_links t)
+      ~dead:(fun v -> t.suspected.(v))
+      ~at:u ~key:p.p_key
+  with
+  | Router.Forward v -> forward t p ~now ~push u v
+  | Router.Arrived -> finish t p ~now (if st.deviated then Rerouted else Delivered)
+  | Router.Blocked -> (
+      match reanchor_candidate t ~at:u ~key:p.p_key with
+      | Some v ->
+          st.reanchors <- st.reanchors + 1;
+          Metrics.incr m_reanchors;
+          st.deviated <- true;
+          forward t p ~now ~push u v
+      | None -> finish t p ~now Failed ~failure:Async_route.No_candidate)
+
+let launch ?on_done t ~now ~push ~src ~key =
+  if Fault_plan.is_crashed t.plan src then invalid_arg "Net.lookup: crashed source";
+  if not (node_live t src) then invalid_arg "Net.lookup: source not live";
+  Metrics.incr m_lookups;
+  let st =
     {
-      status;
-      failure;
-      route;
-      wall_ms;
-      messages = st.messages;
-      retries = st.retries;
-      timeouts = st.timeouts;
-      losses = st.losses;
-      reanchors = st.reanchors;
+      rev_path = [ src ];
+      hops = 0;
+      messages = 0;
+      retries = 0;
+      timeouts = 0;
+      losses = 0;
+      reanchors = 0;
+      deviated = false;
+      newly_suspected = [];
+      finished = None;
     }
+  in
+  let p = { p_src = src; p_key = key; p_started = now; p_st = st; p_on_done = on_done; p_result = None } in
+  step_at t p ~now ~push src;
+  p
+
+let handle t ~now ~push ev =
+  let m = match ev with Send m | Deliver m | Timeout m -> m in
+  let p = m.lk in
+  let st = p.p_st in
+  if st.finished = None then begin
+    if now -. p.p_started > t.policy.Rpc.deadline_ms then begin
+      (* This event lies past the lookup's deadline: the caller has
+         already given up. *)
+      Metrics.incr m_deadline;
+      finish t p ~now Async_route.Failed ~failure:Async_route.Deadline
+    end
+    else
+      let max_hops = Overlay.size t.overlay + 1 in
+      match ev with
+      | Send m -> transmit t ~now ~push m
+      | Deliver m ->
+          (* A target that left while the hop was in flight never
+             receives it; the sender finds out at the timeout. *)
+          if node_live t m.to_ then begin
+            m.got_through <- true;
+            st.rev_path <- m.to_ :: st.rev_path;
+            st.hops <- st.hops + 1;
+            if st.hops > max_hops then finish t p ~now Failed ~failure:Async_route.Hop_budget
+            else step_at t p ~now ~push m.to_
+          end
+      | Timeout m ->
+          if not m.got_through then begin
+            st.timeouts <- st.timeouts + 1;
+            Metrics.incr m_timeouts;
+            if m.attempt < t.policy.Rpc.max_retries then begin
+              st.retries <- st.retries + 1;
+              Metrics.incr m_retries;
+              let retry = m.attempt + 1 in
+              let delay = Rpc.backoff_ms t.policy ~retry t.rng in
+              push ~time:(now +. delay) (Send { m with attempt = retry; got_through = false })
+            end
+            else begin
+              (* Retry budget exhausted: declare the target dead and let
+                 the sender route around it (or re-anchor). The forced
+                 detour counts as a deviation even when the live link
+                 state has already forgotten the departed target. *)
+              st.deviated <- true;
+              if not t.suspected.(m.to_) then begin
+                t.suspected.(m.to_) <- true;
+                st.newly_suspected <- m.to_ :: st.newly_suspected
+              end;
+              if node_live t m.from_ then step_at t p ~now ~push m.from_
+              else
+                (* The holder itself left while waiting on the RPC: the
+                   message dies with it. *)
+                finish t p ~now Failed ~failure:Async_route.No_candidate
+            end
+          end
+  end
+
+let abandon t p ~now =
+  finish t p ~now Async_route.Failed ~failure:Async_route.No_candidate;
+  match p.p_result with Some r -> r | None -> assert false
+
+let lookup t ~src ~key =
+  let q = Event_queue.create () in
+  let push ~time ev = Event_queue.push q ~time ev in
+  let p = launch t ~now:0.0 ~push ~src ~key in
+  let last = ref 0.0 in
+  let rec run () =
+    if p.p_result = None then
+      match Event_queue.pop q with
+      | None -> ()
+      | Some (time, ev) ->
+          last := time;
+          handle t ~now:time ~push ev;
+          run ()
+  in
+  run ();
+  match p.p_result with Some r -> r | None -> abandon t p ~now:!last

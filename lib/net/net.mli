@@ -53,6 +53,7 @@ val create :
   ?policy:Rpc.policy ->
   ?plan:Fault_plan.t ->
   ?rings:Rings.t ->
+  ?live:Live_view.t ->
   ?leaf_width:int ->
   ?suspicion:suspicion ->
   rng:Canon_rng.Rng.t ->
@@ -64,9 +65,17 @@ val create :
     with attachment points). [plan] defaults to fault-free; [policy] to
     {!Rpc.default}. [rings] enables leaf-set re-anchoring with
     [leaf_width] successors per level (default 4; without [rings] a
-    blocked lookup fails instead of re-anchoring). Raises
-    [Invalid_argument] on a plan/overlay size mismatch, an invalid
-    policy, or [leaf_width < 1]. *)
+    blocked lookup fails instead of re-anchoring). [live] switches the
+    network to {e live membership} mode: hop selection, deviation
+    detection and leaf-set fallbacks consult the {!Live_view} (mutated
+    by churn between events) instead of the frozen [overlay], a hop
+    whose target departed in flight is not delivered (the sender times
+    out and routes around it), and leaf sets come from the view's rings,
+    re-derived whenever its generation changes. With a [live] view whose
+    membership never changes, behavior is identical to snapshot mode.
+    Raises [Invalid_argument] on a plan/overlay size mismatch, a
+    rings/live view over a different population, an invalid policy, or
+    [leaf_width < 1]. *)
 
 val overlay : t -> Overlay.t
 
@@ -76,7 +85,64 @@ val plan : t -> Fault_plan.t
 val lookup : t -> src:int -> key:Id.t -> Async_route.t
 (** Routes one message from [src] toward [key]'s responsible node,
     simulating every hop. Raises [Invalid_argument] when [src] is
-    crashed. Deterministic given the creation RNG's state. *)
+    crashed (or, in live mode, not live). Deterministic given the
+    creation RNG's state. Implemented as {!launch} + {!handle} over a
+    private event queue; with a fault-free plan the RNG is never
+    consumed, so results are independent of other lookups' scheduling. *)
+
+(** {2 Event-driven interface}
+
+    [lookup] owns its clock: it drains a private queue until the route
+    resolves. The functions below expose the same machinery with the
+    {e caller} owning the queue, so lookups can be interleaved with
+    other timestamped work — most importantly {!Canon_sim.Churn}
+    membership events — on one shared {!Event_queue}/sim-time axis. The
+    caller wraps {!event} into its own payload type, pushes via the
+    [push] callback given to {!launch}/{!handle}, and calls {!handle}
+    when a net event pops. Under [`Per_lookup] suspicion, suspicions
+    learned by a lookup are visible to others only while it is in
+    flight (they are cleared when it finishes). *)
+
+type event
+(** An in-flight message occurrence (send, delivery or timeout) of some
+    launched lookup. Opaque: obtained only from the [push] callback. *)
+
+type pending
+(** A launched lookup. Resolves to a result once enough of its events
+    have been handled. *)
+
+val launch :
+  ?on_done:(Async_route.t -> unit) ->
+  t ->
+  now:float ->
+  push:(time:float -> event -> unit) ->
+  src:int ->
+  key:Id.t ->
+  pending
+(** Start a lookup at sim time [now], scheduling its first hop through
+    [push] (timestamps are absolute). [on_done] fires exactly once when
+    the lookup resolves, from inside the {!handle} call (or this one, if
+    [src] is already responsible for [key]) that resolves it. Raises
+    like {!lookup}. *)
+
+val handle : t -> now:float -> push:(time:float -> event -> unit) -> event -> unit
+(** Process one event at its timestamp [now] (caller passes the time the
+    event popped at). Events of resolved lookups are ignored, so leftover
+    timeouts in the shared queue are harmless. An event popping after
+    its lookup's deadline resolves the lookup as [Failed Deadline] with
+    wall clamped to the deadline. *)
+
+val result : pending -> Async_route.t option
+(** [None] while the lookup is still in flight. *)
+
+val abandon : t -> pending -> now:float -> Async_route.t
+(** Resolve an unresolved lookup as [Failed No_candidate] now (e.g. the
+    shared queue drained with the lookup still waiting); returns the
+    existing result if it already resolved. *)
+
+val pending_src : pending -> int
+
+val pending_key : pending -> Id.t
 
 val suspected_nodes : t -> int array
 (** Nodes the network currently believes dead (retry budgets exhausted

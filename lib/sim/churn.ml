@@ -50,29 +50,110 @@ type hook =
   | Join of int
   | Leave of int
 
-let run ?(on_event = fun (_ : hook) -> ()) rng pop config =
+type driver = {
+  d_config : config;
+  d_rng : Rng.t;
+  d_m : Maintenance.t;
+  d_can_churn : int -> bool;
+  d_on_event : hook -> unit;
+  mutable d_waiting : int list;
+  mutable d_joins : int;
+  mutable d_leaves : int;
+  mutable d_join_msgs : int;
+  mutable d_leave_msgs : int;
+}
+
+(* RNG draw order is part of the determinism contract: shuffle, then one
+   (interarrival, kind) pair per scheduled event — all drawn before the
+   clock starts — and finally one pick per executed departure. [run]
+   reproduces the historical stream exactly through this split. *)
+let prepare ?(on_event = fun (_ : hook) -> ()) ?(can_churn = fun (_ : int) -> true) rng pop config
+    =
   let n = Population.size pop in
-  if config.initial_nodes > n then invalid_arg "Churn.run: initial_nodes exceeds population";
+  if config.initial_nodes > n then invalid_arg "Churn.prepare: initial_nodes exceeds population";
   let order = Array.init n Fun.id in
   Rng.shuffle_in_place rng order;
   let initial = Array.sub order 0 config.initial_nodes in
   let m = Maintenance.create pop ~present:initial in
   on_event (Init (Array.copy initial));
   (* Waiting room of nodes that may still join, in shuffled order. *)
-  let waiting = ref (Array.to_list (Array.sub order config.initial_nodes (n - config.initial_nodes))) in
-  let queue = Event_queue.create () in
-  let clock = ref 0.0 in
-  let schedule_next time =
+  let waiting =
+    List.filter can_churn
+      (Array.to_list (Array.sub order config.initial_nodes (n - config.initial_nodes)))
+  in
+  let schedule = ref [] in
+  for _ = 1 to config.events do
     let dt = Rng.exponential rng ~mean:config.mean_interarrival in
     let kind = if Rng.float rng < config.join_fraction then Arrival else Departure in
-    Event_queue.push queue ~time:(time +. dt) kind
-  in
-  for _ = 1 to config.events do
-    schedule_next !clock
+    schedule := (dt, kind) :: !schedule
   done;
-  let joins = ref 0 and leaves = ref 0 in
+  let driver =
+    {
+      d_config = config;
+      d_rng = rng;
+      d_m = m;
+      d_can_churn = can_churn;
+      d_on_event = on_event;
+      d_waiting = waiting;
+      d_joins = 0;
+      d_leaves = 0;
+      d_join_msgs = 0;
+      d_leave_msgs = 0;
+    }
+  in
+  (driver, List.rev !schedule)
+
+let apply d kind =
+  match kind with
+  | Arrival -> (
+      match d.d_waiting with
+      | [] -> ()
+      | node :: rest ->
+          d.d_waiting <- rest;
+          let stats = Maintenance.join d.d_m node in
+          d.d_join_msgs <- d.d_join_msgs + Maintenance.total stats;
+          d.d_joins <- d.d_joins + 1;
+          Metrics.incr joins_counter;
+          d.d_on_event (Join node))
+  | Departure ->
+      let live = Maintenance.present d.d_m in
+      (* Keep a quorum so probes stay meaningful. *)
+      if Array.length live > max 8 (d.d_config.initial_nodes / 4) then begin
+        let pool =
+          Array.of_list (List.filter d.d_can_churn (Array.to_list live))
+        in
+        if Array.length pool > 0 then begin
+          let node = Rng.pick d.d_rng pool in
+          let stats = Maintenance.leave d.d_m node in
+          d.d_leave_msgs <- d.d_leave_msgs + Maintenance.total stats;
+          d.d_leaves <- d.d_leaves + 1;
+          Metrics.incr leaves_counter;
+          d.d_on_event (Leave node)
+        end
+      end
+
+let maintenance d = d.d_m
+
+let joins d = d.d_joins
+
+let leaves d = d.d_leaves
+
+let join_message_mean d =
+  if d.d_joins = 0 then 0.0 else Float.of_int d.d_join_msgs /. Float.of_int d.d_joins
+
+let leave_message_mean d =
+  if d.d_leaves = 0 then 0.0 else Float.of_int d.d_leave_msgs /. Float.of_int d.d_leaves
+
+let run ?on_event rng pop config =
+  let n = Population.size pop in
+  let d, schedule = prepare ?on_event rng pop config in
+  let m = d.d_m in
+  let queue = Event_queue.create () in
+  (* [prepare] draws every interarrival relative to time 0, matching the
+     historical scheduling loop; push order fixes the FIFO tie-break. *)
+  List.iter (fun (dt, kind) -> Event_queue.push queue ~time:dt kind) schedule;
+  let clock = ref 0.0 in
   let probes = ref 0 and failed = ref 0 in
-  let join_msgs = ref 0 and leave_msgs = ref 0 in
   let probe () =
     let live = Maintenance.present m in
     if Array.length live >= 2 then begin
@@ -103,28 +184,7 @@ let run ?(on_event = fun (_ : hook) -> ()) rng pop config =
     | None -> ()
     | Some (time, kind) ->
         clock := time;
-        (match kind with
-        | Arrival -> (
-            match !waiting with
-            | [] -> ()
-            | node :: rest ->
-                waiting := rest;
-                let stats = Maintenance.join m node in
-                join_msgs := !join_msgs + Maintenance.total stats;
-                incr joins;
-                Metrics.incr joins_counter;
-                on_event (Join node))
-        | Departure ->
-            let live = Maintenance.present m in
-            (* Keep a quorum so probes stay meaningful. *)
-            if Array.length live > max 8 (config.initial_nodes / 4) then begin
-              let node = Rng.pick rng live in
-              let stats = Maintenance.leave m node in
-              leave_msgs := !leave_msgs + Maintenance.total stats;
-              incr leaves;
-              Metrics.incr leaves_counter;
-              on_event (Leave node)
-            end);
+        apply d kind;
         for _ = 1 to config.probes_per_event do
           probe ()
         done;
@@ -132,13 +192,12 @@ let run ?(on_event = fun (_ : hook) -> ()) rng pop config =
   in
   drain ();
   {
-    joins = !joins;
-    leaves = !leaves;
+    joins = d.d_joins;
+    leaves = d.d_leaves;
     probes = !probes;
     failed_probes = !failed;
-    join_message_mean = (if !joins = 0 then 0.0 else Float.of_int !join_msgs /. Float.of_int !joins);
-    leave_message_mean =
-      (if !leaves = 0 then 0.0 else Float.of_int !leave_msgs /. Float.of_int !leaves);
+    join_message_mean = join_message_mean d;
+    leave_message_mean = leave_message_mean d;
     final_population = Array.length (Maintenance.present m);
     sim_time = !clock;
   }

@@ -411,6 +411,168 @@ let prop_percentile_edges () =
       [ 0.0; 37.5; 50.0; 99.0; 100.0 ]
   done
 
+(* --- churn x async ------------------------------------------------- *)
+
+module Churn = Canon_sim.Churn
+module Maintenance = Canon_sim.Maintenance
+module Event_queue = Canon_sim.Event_queue
+
+(* Integer-valued oracle + integer launch times keep every float sum
+   exact, so "same wall clock" below is exact equality, not tolerance. *)
+let int_oracle u v =
+  if u = v then 0.0 else 5.0 +. Float.of_int (((u * 13) + (v * 7)) mod 40)
+
+(* With a fault-free plan and zero churn events, lookups interleaved on
+   one merged queue (live-membership mode) are byte-identical to the
+   two-phase path: same status, same hops, same sim time, same message
+   count. *)
+let prop_merged_zero_churn_fidelity sc =
+  if sc.n < 4 then Ok ()
+  else begin
+    let config =
+      {
+        Churn.initial_nodes = max 2 (3 * sc.n / 4);
+        events = 0;
+        join_fraction = 0.5;
+        probes_per_event = 0;
+        mean_interarrival = 1.0;
+      }
+    in
+    let driver, schedule = Churn.prepare (Rng.create (sc.case_seed + 31)) sc.pop config in
+    if schedule <> [] then err "zero-event schedule is not empty"
+    else begin
+      let m = Churn.maintenance driver in
+      let view = Live_view.crescendo m in
+      let overlay = Maintenance.overlay m in
+      let live_net =
+        Net.create ~live:view
+          ~rng:(Rng.create (sc.case_seed + 32))
+          ~node_latency:int_oracle overlay
+      in
+      let snap_net =
+        Net.create ~rings:(Maintenance.rings m)
+          ~rng:(Rng.create (sc.case_seed + 33))
+          ~node_latency:int_oracle overlay
+      in
+      let live = Maintenance.present m in
+      let prng = Rng.create (sc.case_seed + 34) in
+      let k = 6 in
+      let pairs = Array.make k (0, 0) in
+      for i = 0 to k - 1 do
+        let s = Rng.pick prng live in
+        let d = Rng.pick prng live in
+        pairs.(i) <- (s, d)
+      done;
+      let q = Event_queue.create () in
+      let push ~time ev = Event_queue.push q ~time ev in
+      let pendings =
+        Array.mapi
+          (fun i (s, d) ->
+            Net.launch live_net ~now:(Float.of_int (13 * i)) ~push ~src:s
+              ~key:sc.pop.Population.ids.(d))
+          pairs
+      in
+      let rec drain () =
+        match Event_queue.pop q with
+        | None -> ()
+        | Some (t, ev) ->
+            Net.handle live_net ~now:t ~push ev;
+            drain ()
+      in
+      drain ();
+      let bad = ref None in
+      Array.iteri
+        (fun i (s, d) ->
+          if !bad = None then
+            match Net.result pendings.(i) with
+            | None -> bad := Some (Printf.sprintf "lookup %d unresolved" i)
+            | Some rm ->
+                let rs = Net.lookup snap_net ~src:s ~key:sc.pop.Population.ids.(d) in
+                if rm.Async_route.status <> rs.Async_route.status then
+                  bad := Some (Printf.sprintf "lookup %d: status differs" i)
+                else if
+                  rm.Async_route.route.Route.nodes <> rs.Async_route.route.Route.nodes
+                then bad := Some (Printf.sprintf "lookup %d: path differs" i)
+                else if not (Float.equal rm.Async_route.wall_ms rs.Async_route.wall_ms)
+                then
+                  bad :=
+                    Some
+                      (Printf.sprintf "lookup %d: wall %.17g <> %.17g" i
+                         rm.Async_route.wall_ms rs.Async_route.wall_ms)
+                else if rm.Async_route.messages <> rs.Async_route.messages then
+                  bad := Some (Printf.sprintf "lookup %d: messages differ" i)
+                else if rm.Async_route.retries <> 0 || rm.Async_route.timeouts <> 0 then
+                  bad := Some (Printf.sprintf "lookup %d: fault-free lookup paid retries" i))
+        pairs;
+      match !bad with None -> Ok () | Some msg -> err "%s" msg
+    end
+  end
+
+(* After any interleaved run, the live membership view equals the set
+   implied by replaying the Init/Join/Leave hook stream. Shrinks on the
+   event list: halves the event count while the mismatch persists. *)
+let prop_view_matches_hook_replay () =
+  for case = 0 to 11 do
+    let case_seed = 7900 + (911 * case) in
+    let n = 24 + Rng.int_below (Rng.create (case_seed lxor 0x2ce)) 96 in
+    let sc = scenario ~case_seed ~n in
+    let run_events events =
+      let hooks = ref [] in
+      let config =
+        {
+          Churn.initial_nodes = max 2 (n / 2);
+          events;
+          join_fraction = 0.5;
+          probes_per_event = 0;
+          mean_interarrival = 2.0;
+        }
+      in
+      let driver, schedule =
+        Churn.prepare
+          ~on_event:(fun h -> hooks := h :: !hooks)
+          (Rng.create (case_seed + 5))
+          sc.pop config
+      in
+      let view = Live_view.crescendo (Churn.maintenance driver) in
+      let q = Event_queue.create () in
+      List.iter (fun (t, ev) -> Event_queue.push q ~time:t ev) schedule;
+      let rec drain () =
+        match Event_queue.pop q with
+        | None -> ()
+        | Some (_, ev) ->
+            Churn.apply driver ev;
+            drain ()
+      in
+      drain ();
+      let implied = Array.make n false in
+      List.iter
+        (function
+          | Churn.Init a -> Array.iter (fun v -> implied.(v) <- true) a
+          | Churn.Join v -> implied.(v) <- true
+          | Churn.Leave v -> implied.(v) <- false)
+        (List.rev !hooks);
+      let mismatch = ref None in
+      for v = n - 1 downto 0 do
+        if Live_view.is_live view v <> implied.(v) then mismatch := Some v
+      done;
+      !mismatch
+    in
+    match run_events 50 with
+    | None -> ()
+    | Some v0 ->
+        let rec shrink events v =
+          let half = events / 2 in
+          if half < 1 then (events, v)
+          else
+            match run_events half with Some v' -> shrink half v' | None -> (events, v)
+        in
+        let events, v = shrink 50 v0 in
+        Alcotest.failf
+          "case seed %d: live view <> hook replay at node %d (smallest failing event \
+           count %d)"
+          case_seed v events
+  done
+
 let suites =
   [
     ( "prop.latency",
@@ -436,5 +598,13 @@ let suites =
         Alcotest.test_case "read-repair restores invariant after one fault" `Quick
           (check ~count:12 ~seed:9707 ~min_n:8 ~max_n:96
              prop_read_repair_restores_invariant);
+      ] );
+    ( "prop.churn-async",
+      [
+        Alcotest.test_case "zero churn: merged queue = two-phase" `Quick
+          (check ~count:20 ~seed:9808 ~min_n:8 ~max_n:120
+             prop_merged_zero_churn_fidelity);
+        Alcotest.test_case "live view = hook replay" `Quick
+          prop_view_matches_hook_replay;
       ] );
   ]

@@ -246,6 +246,40 @@ let test_durability_validates () =
   Alcotest.check_raises "k = 0" (Invalid_argument "Durability.run_with: k < 1")
     (fun () -> run ~ks:[ 0 ] ())
 
+let test_churn_async_shape () =
+  let t = Churn_async.run_with ~n:256 ~events:60 ~lookups:80 ~scale:`Quick ~seed:11 () in
+  Alcotest.(check int) "three phases" 3 (nrows t);
+  Alcotest.(check int) "seven columns" 7 (List.length (Table.columns t));
+  (* quiescent phase is fault-free over static membership: every lookup
+     lands, for both constructions *)
+  Alcotest.(check string) "quiescent Chord all ok" "1.000" (cell t 0 1);
+  Alcotest.(check string) "quiescent Cresc all ok" "1.000" (cell t 0 2);
+  (* churn can only hurt *)
+  Alcotest.(check bool) "burst Chord <= quiescent" true (cellf t 1 1 <= cellf t 0 1);
+  Alcotest.(check bool) "burst Cresc <= quiescent" true (cellf t 1 2 <= cellf t 0 2);
+  (* containment: intra-domain Crescendo lookups never touch the
+     churning remainder of the network *)
+  Alcotest.(check string) "intra Cresc unaffected by outside churn" "1.000" (cell t 2 2)
+
+let test_churn_async_validates () =
+  let run ?churn_rate ?lookup_rate ?events ?n ?lookups () =
+    ignore
+      (Churn_async.run_with ?churn_rate ?lookup_rate ?events ?n ?lookups ~scale:`Quick
+         ~seed:1 ())
+  in
+  Alcotest.check_raises "churn_rate = 0"
+    (Invalid_argument "Churn_async.run_with: churn_rate <= 0") (fun () ->
+      run ~churn_rate:0.0 ());
+  Alcotest.check_raises "lookup_rate = 0"
+    (Invalid_argument "Churn_async.run_with: lookup_rate <= 0") (fun () ->
+      run ~lookup_rate:0.0 ());
+  Alcotest.check_raises "events < 0" (Invalid_argument "Churn_async.run_with: events < 0")
+    (fun () -> run ~events:(-1) ());
+  Alcotest.check_raises "n too small" (Invalid_argument "Churn_async.run_with: n < 16")
+    (fun () -> run ~n:8 ());
+  Alcotest.check_raises "lookups = 0"
+    (Invalid_argument "Churn_async.run_with: lookups < 1") (fun () -> run ~lookups:0 ())
+
 let suites =
   [
     ( "experiments",
@@ -269,5 +303,7 @@ let suites =
         Alcotest.test_case "robustness determinism" `Slow test_robustness_deterministic;
         Alcotest.test_case "durability shape" `Slow test_durability_shape;
         Alcotest.test_case "durability validation" `Quick test_durability_validates;
+        Alcotest.test_case "churn_async shape" `Slow test_churn_async_shape;
+        Alcotest.test_case "churn_async validation" `Quick test_churn_async_validates;
       ] );
   ]

@@ -497,6 +497,160 @@ let test_net_telemetry () =
             r.Async_route.route.Route.nodes (Span.path span)
       | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
 
+(* --- Net: live membership ------------------------------------------ *)
+
+module Maintenance = Canon_sim.Maintenance
+module Event_queue = Canon_sim.Event_queue
+module Churn = Canon_sim.Churn
+
+let test_live_view_tracks_membership () =
+  let pop = make_universe ~n:64 83 in
+  let m = Maintenance.create pop ~present:(Array.init 64 Fun.id) in
+  let v = Live_view.crescendo m in
+  Alcotest.(check bool) "live" true (Live_view.is_live v 5);
+  Alcotest.(check (array int)) "links = maintained links" (Maintenance.links m 5)
+    (Live_view.links v 5);
+  let g0 = Live_view.generation v in
+  ignore (Maintenance.leave m 5);
+  Live_view.on_hook v (Churn.Leave 5);
+  Alcotest.(check bool) "gone after leave" false (Live_view.is_live v 5);
+  Alcotest.(check (array int)) "no links when dead" [||] (Live_view.links v 5);
+  Alcotest.(check bool) "generation bumped" true (Live_view.generation v > g0)
+
+let test_live_view_chord_links () =
+  let pop = make_universe ~n:64 84 in
+  let m = Maintenance.create pop ~present:(Array.init 64 Fun.id) in
+  let v = Live_view.chord m in
+  (* the finger rule applied to the live global ring *)
+  let expect u =
+    let ring = Rings.ring_of_node_at_depth (Maintenance.rings m) u 0 in
+    Chord.links_of_id ring pop.Population.ids.(u) ~self:u
+  in
+  Alcotest.(check (array int)) "finger rule over live global ring" (expect 7)
+    (Live_view.links v 7);
+  Alcotest.(check (array int)) "memoized lookup is stable" (Live_view.links v 7)
+    (Live_view.links v 7);
+  let victim = (expect 7).(0) in
+  ignore (Maintenance.leave m victim);
+  Live_view.bump v;
+  Alcotest.(check (array int)) "recomputed after bump" (expect 7) (Live_view.links v 7);
+  Alcotest.(check bool) "departed finger dropped" false
+    (Array.mem victim (Live_view.links v 7))
+
+(* Satellite regression: the next hop leaves while the RPC is in flight.
+   A pinned seed and the jitter-free [fast_policy] make the whole
+   episode arithmetic: send at 0 -> the Deliver is suppressed (target
+   left at t = 5, before any edge's >= 10 ms latency elapses) -> timeout
+   at 100 -> retry after the 10 ms backoff at 110 -> timeout at 210 ->
+   suspect -> reroute over the post-leave links straight to delivery. *)
+let test_net_midflight_leave_reroutes () =
+  let pop = make_universe ~n:64 85 in
+  let m = Maintenance.create pop ~present:(Array.init 64 Fun.id) in
+  let view = Live_view.crescendo m in
+  let overlay = Maintenance.overlay m in
+  let src, dst, route = multi_hop_pair overlay ~n:64 ~min_hops:2 in
+  let victim = route.Route.nodes.(1) in
+  let net =
+    Net.create ~live:view ~policy:fast_policy ~rng:(Rng.create 86) ~node_latency:oracle
+      overlay
+  in
+  let timeouts0 = Metrics.value (Metrics.counter "net.timeouts") in
+  let retries0 = Metrics.value (Metrics.counter "net.retries") in
+  let q = Event_queue.create () in
+  let push ~time ev = Event_queue.push q ~time (`Net ev) in
+  let p = Net.launch net ~now:0.0 ~push ~src ~key:(Overlay.id overlay dst) in
+  Event_queue.push q ~time:5.0 `Leave_victim;
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, `Leave_victim) ->
+        ignore (Maintenance.leave m victim);
+        Live_view.on_hook view (Churn.Leave victim);
+        drain ()
+    | Some (t, `Net ev) ->
+        Net.handle net ~now:t ~push ev;
+        drain ()
+  in
+  drain ();
+  let r =
+    match Net.result p with Some r -> r | None -> Alcotest.fail "lookup never resolved"
+  in
+  Alcotest.(check bool) "rerouted" true (r.Async_route.status = Async_route.Rerouted);
+  Alcotest.(check int) "reaches the destination" dst
+    (Route.destination r.Async_route.route);
+  Alcotest.(check int) "exactly two timeouts" 2 r.Async_route.timeouts;
+  Alcotest.(check int) "exactly one retry" 1 r.Async_route.retries;
+  Alcotest.(check int) "no reanchors" 0 r.Async_route.reanchors;
+  Alcotest.(check int) "no losses" 0 r.Async_route.losses;
+  Alcotest.(check bool) "victim not on the realized path" false
+    (Array.mem victim r.Async_route.route.Route.nodes);
+  (* after the reroute the lookup is still at [src], so it must follow
+     the post-leave greedy path exactly *)
+  let post =
+    Router.greedy_clockwise (Maintenance.overlay m) ~src ~key:(Overlay.id overlay dst)
+  in
+  Alcotest.(check (array int)) "path = post-leave greedy path" post.Route.nodes
+    r.Async_route.route.Route.nodes;
+  Alcotest.(check (float 1e-6)) "wall = 2 timeout windows + backoff + detour latency"
+    (210.0 +. Route.latency post ~node_latency:oracle)
+    r.Async_route.wall_ms;
+  Alcotest.(check int) "messages = 2 wasted sends + detour hops" (2 + Route.hops post)
+    r.Async_route.messages;
+  Alcotest.(check int) "net.timeouts counter" (timeouts0 + 2)
+    (Metrics.value (Metrics.counter "net.timeouts"));
+  Alcotest.(check int) "net.retries counter" (retries0 + 1)
+    (Metrics.value (Metrics.counter "net.retries"))
+
+(* Interleaving many fault-free lookups on one shared queue changes
+   nothing: each result is byte-identical to the same lookup run alone
+   through [Net.lookup] (the fault-free path never consumes RNG). *)
+let test_net_merged_lookups_match_sequential () =
+  let _, rings, overlay = build_crescendo ~n:200 88 in
+  let merged = Net.create ~rings ~rng:(Rng.create 89) ~node_latency:oracle overlay in
+  let seq = Net.create ~rings ~rng:(Rng.create 89) ~node_latency:oracle overlay in
+  let prng = Rng.create 90 in
+  let k = 12 in
+  let pairs = Array.make k (0, 0) in
+  for i = 0 to k - 1 do
+    let src = Rng.int_below prng 200 in
+    let dst = Rng.int_below prng 200 in
+    pairs.(i) <- (src, dst)
+  done;
+  let q = Event_queue.create () in
+  let push ~time ev = Event_queue.push q ~time ev in
+  let pendings =
+    Array.mapi
+      (fun i (src, dst) ->
+        Net.launch merged ~now:(Float.of_int (17 * i)) ~push ~src
+          ~key:(Overlay.id overlay dst))
+      pairs
+  in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, ev) ->
+        Net.handle merged ~now:t ~push ev;
+        drain ()
+  in
+  drain ();
+  Array.iteri
+    (fun i (src, dst) ->
+      let rm =
+        match Net.result pendings.(i) with
+        | Some r -> r
+        | None -> Alcotest.fail "lookup never resolved"
+      in
+      let rs = Net.lookup seq ~src ~key:(Overlay.id overlay dst) in
+      Alcotest.(check bool) "same status" true
+        (rm.Async_route.status = rs.Async_route.status);
+      Alcotest.(check (array int)) "same path" rs.Async_route.route.Route.nodes
+        rm.Async_route.route.Route.nodes;
+      Alcotest.(check (float 1e-9)) "same wall" rs.Async_route.wall_ms
+        rm.Async_route.wall_ms;
+      Alcotest.(check int) "same messages" rs.Async_route.messages
+        rm.Async_route.messages)
+    pairs
+
 let suites =
   [
     ( "net-clock",
@@ -537,5 +691,15 @@ let suites =
         Alcotest.test_case "validation" `Quick test_net_validation;
         Alcotest.test_case "reanchor candidate" `Quick test_net_reanchor_candidate;
         Alcotest.test_case "telemetry" `Quick test_net_telemetry;
+      ] );
+    ( "net-live",
+      [
+        Alcotest.test_case "live view tracks membership" `Quick
+          test_live_view_tracks_membership;
+        Alcotest.test_case "live chord links" `Quick test_live_view_chord_links;
+        Alcotest.test_case "mid-flight leave reroutes" `Quick
+          test_net_midflight_leave_reroutes;
+        Alcotest.test_case "merged lookups = sequential" `Quick
+          test_net_merged_lookups_match_sequential;
       ] );
   ]

@@ -243,6 +243,40 @@ let test_first_node_join () =
   Alcotest.(check bool) "second join links up" true (stats2.Maintenance.link_messages > 0);
   check_equivalence m pop
 
+(* Two producers (think: churn events and RPC hops) interleaving pushes
+   at one timestamp share the queue's single FIFO order — global
+   insertion order, blind to who produced what. *)
+let test_event_queue_two_producer_ties () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:7.0 "churn:leave";
+  Event_queue.push q ~time:7.0 "rpc:deliver";
+  Event_queue.push q ~time:7.0 "churn:join";
+  Event_queue.push q ~time:7.0 "rpc:timeout";
+  Event_queue.push q ~time:3.0 "rpc:send";
+  let order =
+    List.init 5 (fun _ -> match Event_queue.pop q with Some (_, x) -> x | None -> "?")
+  in
+  Alcotest.(check (list string))
+    "earlier time first, then global insertion order"
+    [ "rpc:send"; "churn:leave"; "rpc:deliver"; "churn:join"; "rpc:timeout" ]
+    order
+
+let test_event_queue_pop_until_boundary () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b1";
+  Event_queue.push q ~time:2.0 "b2";
+  Event_queue.push q ~time:3.0 "c";
+  let batch = Event_queue.pop_until q ~time:2.0 in
+  Alcotest.(check (list string))
+    "boundary exactly equal to an event time is inclusive" [ "a"; "b1"; "b2" ]
+    (List.map snd batch);
+  Alcotest.(check (list string))
+    "same boundary again drains nothing" []
+    (List.map snd (Event_queue.pop_until q ~time:2.0));
+  Alcotest.(check (option (float 1e-9))) "later event untouched" (Some 3.0)
+    (Event_queue.peek_time q)
+
 (* --- Churn driver -------------------------------------------------- *)
 
 let test_churn_run () =
@@ -264,6 +298,44 @@ let test_churn_run () =
   Alcotest.(check bool) "population sane" true
     (report.Churn.final_population > 0 && report.Churn.final_population <= 400)
 
+(* [run] is a thin wrapper over [prepare]/[apply]: with the same seed
+   (and no probes, so no extra draws) a manual prepare + queue-drained
+   apply reproduces its joins, leaves and final membership exactly. *)
+let test_churn_prepare_apply_matches_run () =
+  let pop = make_universe ~n:400 24 in
+  let config =
+    {
+      Churn.initial_nodes = 120;
+      events = 60;
+      join_fraction = 0.5;
+      probes_per_event = 0;
+      mean_interarrival = 0.5;
+    }
+  in
+  let report = Churn.run (Rng.create 77) pop config in
+  let hooks = ref 0 in
+  let driver, schedule =
+    Churn.prepare ~on_event:(fun _ -> incr hooks) (Rng.create 77) pop config
+  in
+  Alcotest.(check int) "schedule length = config.events" 60 (List.length schedule);
+  let q = Event_queue.create () in
+  List.iter (fun (t, ev) -> Event_queue.push q ~time:t ev) schedule;
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, ev) ->
+        Churn.apply driver ev;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "joins" report.Churn.joins (Churn.joins driver);
+  Alcotest.(check int) "leaves" report.Churn.leaves (Churn.leaves driver);
+  let m = Churn.maintenance driver in
+  Alcotest.(check int) "final population" report.Churn.final_population
+    (Array.length (Maintenance.present m));
+  Alcotest.(check int) "every event fired a hook (plus Init)" 61 !hooks;
+  check_equivalence m pop
+
 let suites =
   [
     ( "event-queue",
@@ -275,6 +347,9 @@ let suites =
         Alcotest.test_case "pop_until permuted ties" `Quick test_pop_until_permuted_ties;
         QCheck_alcotest.to_alcotest prop_pop_until_is_stable_sort;
         Alcotest.test_case "stress" `Quick test_event_queue_stress;
+        Alcotest.test_case "two-producer ties" `Quick test_event_queue_two_producer_ties;
+        Alcotest.test_case "pop_until exact boundary" `Quick
+          test_event_queue_pop_until_boundary;
       ] );
     ( "maintenance",
       [
@@ -287,7 +362,11 @@ let suites =
         Alcotest.test_case "first node" `Quick test_first_node_join;
       ] );
     ( "churn",
-      [ Alcotest.test_case "driver run" `Quick test_churn_run ] );
+      [
+        Alcotest.test_case "driver run" `Quick test_churn_run;
+        Alcotest.test_case "prepare/apply = run" `Quick
+          test_churn_prepare_apply_matches_run;
+      ] );
   ]
 
 (* --- Leaf sets and crash recovery ---------------------------------- *)
